@@ -1,0 +1,291 @@
+(* riotshare: command-line front door.
+
+     riotshare analyze  (--program NAME | --source FILE)
+     riotshare optimize (--program NAME | --source FILE) [--config NAME]
+                        [--mem-cap MB] [--max-size N]
+     riotshare run      --program NAME [--config NAME] [--scale N] [--format daf|lab]
+     riotshare codegen  (--program NAME | --source FILE) [--original]
+     riotshare blocksize --program NAME --mem-cap MB
+
+   Built-in programs: add_mul (Example 1 / Section 6.1), two_matmuls
+   (Section 6.2), linear_regression (Section 6.3).  Built-in configs:
+   table2, table2_bigblock, table3a, table3b, table4.  A --source file uses
+   the mini-Clan grammar (see lib/frontend/parse.mli) and requires --block
+   layout directives of the form NAME:BROWSxBCOLS:GROWSxGCOLS. *)
+
+module Api = Riotshare.Api
+module Programs = Riot_ops.Programs
+module Parse = Riot_frontend.Parse
+module Config = Riot_ir.Config
+module Engine = Riot_exec.Engine
+module Block_store = Riot_storage.Block_store
+
+open Cmdliner
+
+let builtin_programs =
+  [ ("add_mul", (Programs.add_mul, Some Programs.table2));
+    ("two_matmuls", (Programs.two_matmuls, Some Programs.table3_config_a));
+    ("linear_regression", (Programs.linear_regression, Some Programs.table4)) ]
+
+let builtin_configs =
+  [ ("table2", Programs.table2);
+    ("table2_bigblock", Programs.table2_bigblock);
+    ("table3a", Programs.table3_config_a);
+    ("table3b", Programs.table3_config_b);
+    ("table4", Programs.table4) ]
+
+let parse_block_spec spec =
+  (* NAME:BRxBC:GRxGC *)
+  match String.split_on_char ':' spec with
+  | [ name; b; g ] ->
+      let dims s =
+        match String.split_on_char 'x' s with
+        | [ r; c ] -> (int_of_string r, int_of_string c)
+        | _ -> failwith ("bad dims in --block " ^ spec)
+      in
+      let br, bc = dims b and gr, gc = dims g in
+      (name, br, bc, gr, gc)
+  | _ -> failwith ("bad --block spec " ^ spec)
+
+let load_program ~program ~source =
+  match (program, source) with
+  | Some name, None -> (
+      match List.assoc_opt name builtin_programs with
+      | Some (f, cfg) -> (f (), cfg)
+      | None ->
+          failwith
+            (Printf.sprintf "unknown program %s (have: %s)" name
+               (String.concat ", " (List.map fst builtin_programs))))
+  | None, Some file ->
+      let ic = open_in file in
+      let n = in_channel_length ic in
+      let src = really_input_string ic n in
+      close_in ic;
+      (Parse.program ~name:(Filename.remove_extension (Filename.basename file)) src, None)
+  | _ -> failwith "exactly one of --program or --source is required"
+
+let resolve_config ~default ~config ~params ~blocks =
+  match (config, blocks) with
+  | Some name, [] -> (
+      match List.assoc_opt name builtin_configs with
+      | Some c -> c
+      | None -> failwith ("unknown config " ^ name))
+  | None, [] -> (
+      match default with
+      | Some c -> c
+      | None -> failwith "--config or --block layout required for this program")
+  | None, blocks ->
+      let layouts =
+        List.map
+          (fun spec ->
+            let name, br, bc, gr, gc = parse_block_spec spec in
+            (name,
+              { Config.grid = [| gr; gc |]; block_elems = [| br; bc |]; elem_size = 8 }))
+          blocks
+      in
+      Config.make ~params ~layouts
+  | Some _, _ :: _ -> failwith "--config and --block are mutually exclusive"
+
+(* --- Common options --------------------------------------------------------- *)
+
+let program_arg =
+  Arg.(value & opt (some string) None & info [ "program"; "p" ] ~doc:"Built-in program name.")
+
+let source_arg =
+  Arg.(value & opt (some file) None & info [ "source"; "s" ] ~doc:"Mini-Clan source file.")
+
+let config_arg =
+  Arg.(value & opt (some string) None & info [ "config"; "c" ] ~doc:"Built-in configuration name.")
+
+let param_arg =
+  Arg.(
+    value
+    & opt_all (pair ~sep:'=' string int) []
+    & info [ "param" ] ~doc:"Parameter binding NAME=VALUE (with --block).")
+
+let block_arg =
+  Arg.(
+    value
+    & opt_all string []
+    & info [ "block" ] ~doc:"Array layout NAME:BRxBC:GRxGC (with --source).")
+
+let max_size_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "max-size" ] ~doc:"Cap the sharing-opportunity subset size.")
+
+let mem_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "mem-cap" ] ~doc:"Memory cap in MB for plan selection.")
+
+let handle f = try `Ok (f ()) with Failure msg | Parse.Error msg -> `Error (false, msg)
+
+(* --- analyze ------------------------------------------------------------------ *)
+
+let analyze program source params =
+  handle (fun () ->
+      let prog, _ = load_program ~program ~source in
+      let ref_params =
+        if params <> [] then params
+        else List.map (fun p -> (p, 4)) prog.Riot_ir.Program.params
+      in
+      let r = Riot_analysis.Deps.extract prog ~ref_params in
+      Format.printf "%a@.@." Riot_ir.Program.pp prog;
+      Format.printf "== dependences (%d) ==@." (List.length r.Riot_analysis.Deps.dependences);
+      List.iter
+        (fun ca -> Format.printf "  %s@." (Riot_analysis.Coaccess.label ca))
+        r.Riot_analysis.Deps.dependences;
+      Format.printf "== sharing opportunities (%d) ==@."
+        (List.length r.Riot_analysis.Deps.sharing);
+      List.iter
+        (fun ca -> Format.printf "  %s@." (Riot_analysis.Coaccess.label ca))
+        r.Riot_analysis.Deps.sharing)
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze" ~doc:"Extract dependences and sharing opportunities.")
+    Term.(ret (const analyze $ program_arg $ source_arg $ param_arg))
+
+(* --- optimize ------------------------------------------------------------------ *)
+
+let optimize program source config params blocks max_size mem_cap explain =
+  handle (fun () ->
+      let prog, default = load_program ~program ~source in
+      let config = resolve_config ~default ~config ~params ~blocks in
+      let opt = Api.optimize ?max_size prog ~config in
+      Format.printf "%a@.@." Api.pp_summary opt;
+      let mem_cap_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem_cap in
+      let plan0 = Api.original opt in
+      let best = Api.best ?mem_cap_bytes opt in
+      Format.printf "original: %a@." Api.pp_costed plan0;
+      Format.printf "best:     %a@." Api.pp_costed best;
+      Format.printf "I/O saving: %.1f%%@."
+        (100.
+        *. (plan0.Api.predicted_io_seconds -. best.Api.predicted_io_seconds)
+        /. plan0.Api.predicted_io_seconds);
+      if explain then begin
+        Format.printf "@.per-array block accesses of the best plan:@.";
+        Format.printf "%-8s %-11s %-11s %-8s %-8s@." "array" "disk reads" "mem reads"
+          "writes" "elided";
+        List.iter
+          (fun (r : Riot_plan.Cplan.array_io) ->
+            Format.printf "%-8s %-11d %-11d %-8d %-8d@." r.Riot_plan.Cplan.io_array
+              r.Riot_plan.Cplan.io_disk_reads r.Riot_plan.Cplan.io_mem_reads
+              r.Riot_plan.Cplan.io_writes r.Riot_plan.Cplan.io_elided)
+          (Riot_plan.Cplan.explain best.Api.cplan)
+      end)
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Enumerate, cost and rank I/O-sharing plans.")
+    Term.(
+      ret
+        (const optimize $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
+        $ max_size_arg $ mem_cap_arg
+        $ Arg.(value & flag & info [ "explain" ] ~doc:"Per-array I/O breakdown.")))
+
+(* --- run ----------------------------------------------------------------------- *)
+
+let run program source config params blocks max_size scale format =
+  handle (fun () ->
+      let prog, default = load_program ~program ~source in
+      let config = resolve_config ~default ~config ~params ~blocks in
+      let config = if scale > 1 then Programs.scale_down ~factor:scale config else config in
+      let opt = Api.optimize ?max_size prog ~config in
+      let best = Api.best opt in
+      let format =
+        match format with
+        | "daf" -> Block_store.Daf_format
+        | "lab" -> Block_store.Lab_format
+        | f -> failwith ("unknown format " ^ f)
+      in
+      let backend = Api.simulated_backend opt.Api.machine in
+      let result = Api.execute ~compute:false best ~backend ~format in
+      Format.printf "executed: %a@." Api.pp_costed best;
+      Format.printf
+        "block reads: %d (%.1f MB), block writes: %d (%.1f MB)@.simulated I/O time: %.1f s, pool peak: %.1f MB@."
+        result.Engine.reads
+        (float_of_int result.Engine.bytes_read /. 1048576.)
+        result.Engine.writes
+        (float_of_int result.Engine.bytes_written /. 1048576.)
+        result.Engine.virtual_io_seconds
+        (float_of_int result.Engine.pool_peak_bytes /. 1048576.))
+
+let run_cmd =
+  Cmd.v
+    (Cmd.info "run" ~doc:"Execute the best plan on the simulated disk.")
+    Term.(
+      ret
+        (const run $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
+        $ max_size_arg
+        $ Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Divide block dims by N.")
+        $ Arg.(value & opt string "daf" & info [ "format" ] ~doc:"daf or lab.")))
+
+(* --- codegen ------------------------------------------------------------------- *)
+
+let codegen program source config params blocks max_size original =
+  handle (fun () ->
+      let prog, default = load_program ~program ~source in
+      let sched =
+        if original then prog.Riot_ir.Program.original
+        else begin
+          let config = resolve_config ~default ~config ~params ~blocks in
+          let opt = Api.optimize ?max_size prog ~config in
+          let best = Api.best opt in
+          Format.printf "// best plan: %a@." Api.pp_costed best;
+          best.Api.plan.Riot_optimizer.Search.sched
+        end
+      in
+      let ast = Riot_codegen.Codegen.generate prog ~sched in
+      print_string (Riot_codegen.Codegen.to_c prog ast))
+
+let codegen_cmd =
+  Cmd.v
+    (Cmd.info "codegen" ~doc:"Emit transformed C-style loop code for a plan.")
+    Term.(
+      ret
+        (const codegen $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
+        $ max_size_arg
+        $ Arg.(value & flag & info [ "original" ] ~doc:"Use the original schedule.")))
+
+(* --- blocksize ------------------------------------------------------------------ *)
+
+let blocksize program source config params blocks max_size mem_cap =
+  handle (fun () ->
+      let prog, default = load_program ~program ~source in
+      let base = resolve_config ~default ~config ~params ~blocks in
+      let mem_cap_bytes =
+        match mem_cap with
+        | Some mb -> mb * 1024 * 1024
+        | None -> failwith "--mem-cap is required for block-size selection"
+      in
+      let choices, winner =
+        Riotshare.Block_select.jointly_optimize ?max_size prog ~base ~mem_cap_bytes
+      in
+      List.iter
+        (fun (c : Riotshare.Block_select.choice) ->
+          Format.printf "factor %d: %a@." c.Riotshare.Block_select.factor Api.pp_costed
+            c.Riotshare.Block_select.best)
+        choices;
+      match winner with
+      | Some w ->
+          Format.printf "winner: blocking factor %d@." w.Riotshare.Block_select.factor
+      | None -> Format.printf "no blocking fits the cap@.")
+
+let blocksize_cmd =
+  Cmd.v
+    (Cmd.info "blocksize"
+       ~doc:"Jointly select the block size and the sharing plan under a memory cap.")
+    Term.(
+      ret
+        (const blocksize $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
+        $ max_size_arg $ mem_cap_arg))
+
+let () =
+  let info = Cmd.info "riotshare" ~version:"1.0.0" ~doc:"Polyhedral I/O-sharing optimizer." in
+  exit
+    (Cmd.eval
+       (Cmd.group info [ analyze_cmd; optimize_cmd; run_cmd; codegen_cmd; blocksize_cmd ]))

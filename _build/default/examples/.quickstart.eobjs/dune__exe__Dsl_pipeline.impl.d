@@ -1,0 +1,1 @@
+examples/dsl_pipeline.ml: Format List Riot_frontend Riot_ir Riotshare String

@@ -1,0 +1,1 @@
+examples/linear_regression.ml: Array Format List Random Riot_analysis Riot_exec Riot_ir Riot_kernels Riot_ops Riot_storage Riotshare Sys

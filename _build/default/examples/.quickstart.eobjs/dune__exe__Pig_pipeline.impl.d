@@ -1,0 +1,1 @@
+examples/pig_pipeline.ml: Format List Riot_analysis Riot_codegen Riot_ops Riot_optimizer Riotshare

@@ -1,0 +1,1 @@
+examples/pig_pipeline.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Format List Random Riot_analysis Riot_codegen Riot_exec Riot_ir Riot_kernels Riot_ops Riot_optimizer Riot_storage Riotshare

@@ -1,0 +1,1 @@
+examples/two_matmuls.ml: Format List Riot_analysis Riot_ops Riot_optimizer Riotshare

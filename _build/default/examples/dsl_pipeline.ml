@@ -1,0 +1,72 @@
+(* A user-defined program entering the optimizer through the mini-Clan
+   frontend (Section 3: "analyzing user-supplied pseudo-code").
+
+   Run with:  dune exec examples/dsl_pipeline.exe
+
+   The pipeline below is covariance-style preprocessing followed by a
+   projection - not one of the paper's benchmarks, to show the optimizer is
+   not hard-wired to them:
+
+     S = M + N        (combine two input matrices)
+     G = S' S         (Gram matrix of the combined data)
+     P = S T          (project the combined data)
+
+   S is consumed twice, so the two consumers can share its production pass;
+   G and P accumulate in memory. *)
+
+module Api = Riotshare.Api
+module Parse = Riot_frontend.Parse
+module Config = Riot_ir.Config
+
+let source =
+  {|
+  param nr, nc, np;
+  input M[nr][nc], N[nr][nc], T[nr][np];
+  intermediate S[nr][nc];
+  output G[nc][nc], P[nc][np];
+
+  for (i = 0; i < nr; i++)
+    for (j = 0; j < nc; j++)
+      S[i,j] = M[i,j] + N[i,j];
+
+  for (i = 0; i < nc; i++)
+    for (j = 0; j < nc; j++)
+      for (k = 0; k < nr; k++)
+        G[i,j] += S'[k,i] * S[k,j];
+
+  for (i = 0; i < nc; i++)
+    for (j = 0; j < np; j++)
+      for (k = 0; k < nr; k++)
+        P[i,j] += S'[k,i] * T[k,j];
+|}
+
+let config =
+  Config.make
+    ~params:[ ("nr", 8); ("nc", 2); ("np", 2) ]
+    ~layouts:[]
+  |> fun c ->
+  let c = Config.matrix c "M" ~block_rows:4000 ~block_cols:4000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "N" ~block_rows:4000 ~block_cols:4000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "S" ~block_rows:4000 ~block_cols:4000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "T" ~block_rows:4000 ~block_cols:2000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "G" ~block_rows:4000 ~block_cols:4000 ~grid_rows:2 ~grid_cols:2 in
+  Config.matrix c "P" ~block_rows:4000 ~block_cols:2000 ~grid_rows:2 ~grid_cols:2
+
+let () =
+  let prog = Parse.program ~name:"dsl_pipeline" source in
+  Format.printf "Parsed %d statements over arrays %s@.@."
+    (List.length prog.Riot_ir.Program.stmts)
+    (String.concat ", "
+       (List.map
+          (fun (a : Riot_ir.Array_info.t) -> a.Riot_ir.Array_info.name)
+          prog.Riot_ir.Program.arrays));
+  let opt = Api.optimize ~max_size:5 prog ~config in
+  Format.printf "%a@.@." Api.pp_summary opt;
+  let plan0 = Api.original opt in
+  let best = Api.best opt in
+  Format.printf "original: %a@." Api.pp_costed plan0;
+  Format.printf "best:     %a@." Api.pp_costed best;
+  Format.printf "I/O saving: %.1f%%@."
+    (100.
+    *. (plan0.Api.predicted_io_seconds -. best.Api.predicted_io_seconds)
+    /. plan0.Api.predicted_io_seconds)

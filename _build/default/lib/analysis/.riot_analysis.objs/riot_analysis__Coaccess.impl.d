@@ -1,0 +1,1 @@
+lib/analysis/coaccess.ml: Array Format List Printf Riot_ir Riot_poly String

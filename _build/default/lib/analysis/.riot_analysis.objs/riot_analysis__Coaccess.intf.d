@@ -1,0 +1,1 @@
+lib/analysis/coaccess.mli: Format Riot_ir Riot_poly

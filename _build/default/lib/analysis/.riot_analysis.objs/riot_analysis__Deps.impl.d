@@ -1,0 +1,1 @@
+lib/analysis/deps.ml: Array Coaccess Hashtbl Lazy List Option Reduce Riot_ir Riot_poly

@@ -1,0 +1,1 @@
+lib/analysis/deps.mli: Coaccess Riot_ir

@@ -1,0 +1,1 @@
+lib/analysis/reduce.ml: Array Coaccess Hashtbl List Logs Riot_base Riot_linalg Riot_poly

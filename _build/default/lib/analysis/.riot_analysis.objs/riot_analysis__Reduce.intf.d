@@ -1,0 +1,1 @@
+lib/analysis/reduce.mli: Coaccess

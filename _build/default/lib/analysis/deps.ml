@@ -1,0 +1,226 @@
+module Space = Riot_poly.Space
+module Poly = Riot_poly.Poly
+module Aff = Riot_poly.Aff
+module Union = Riot_poly.Union
+module Access = Riot_ir.Access
+module Stmt = Riot_ir.Stmt
+module Program = Riot_ir.Program
+module Sched = Riot_ir.Sched
+
+type result = { dependences : Coaccess.t list; sharing : Coaccess.t list }
+
+let mid_prefix = "mid."
+
+(* Subtract from [ca]'s extent all pairs (x, x') such that some instance y of
+   a write access to the same array touches the same block with
+   x < y < x' in the original schedule. *)
+let no_write_in_between (prog : Program.t) (ca : Coaccess.t) =
+  let writes = Program.writes_to prog ca.Coaccess.array in
+  let src_stmt = Program.find_stmt prog ca.Coaccess.src_stmt in
+  let src_a = List.nth src_stmt.Stmt.accesses ca.Coaccess.src_acc in
+  let extent =
+    List.fold_left
+      (fun extent ((ws : Stmt.t), (wa : Access.t)) ->
+        let mid_vars = List.map (fun v -> mid_prefix ^ v) ws.Stmt.loop_vars in
+        let mspace = Space.append ca.Coaccess.space mid_vars in
+        let re_src = Coaccess.rename_into mspace ~prefix:Coaccess.src_prefix ~stmt:src_stmt in
+        let re_mid = Coaccess.rename_into mspace ~prefix:mid_prefix ~stmt:ws in
+        let base = Poly.universe mspace in
+        (* y in the write's domain. *)
+        let wdom = Stmt.access_domain ws wa in
+        let base =
+          List.fold_left Poly.add_eq
+            (List.fold_left Poly.add_ge base (List.map re_mid (Poly.ges wdom)))
+            (List.map re_mid (Poly.eqs wdom))
+        in
+        (* Same block as the co-access: Phi_w(y) = Phi_src(x). *)
+        let base =
+          Array.to_list
+            (Array.map2 (fun wm sm -> Aff.sub (re_mid wm) (re_src sm))
+               wa.Access.map src_a.Access.map)
+          |> List.fold_left Poly.add_eq base
+        in
+        let rows prefix stmt =
+          Array.map
+            (Coaccess.rename_into mspace ~prefix ~stmt)
+            (Sched.find prog.Program.original stmt.Stmt.name)
+        in
+        (* Access-level micro order: within one statement instance reads
+           (rank 0) precede the write (rank 1), so a same-instance write can
+           shadow a read pair. *)
+        let rank = function Access.Read -> 0 | Access.Write -> 1 in
+        let src_before_mid =
+          Coaccess.order_union mspace
+            ~micro:(rank ca.Coaccess.src_typ, 1)
+            ~src_rows:(rows Coaccess.src_prefix src_stmt)
+            ~dst_rows:(rows mid_prefix ws)
+        in
+        let dst_stmt = Program.find_stmt prog ca.Coaccess.dst_stmt in
+        let mid_before_dst =
+          Coaccess.order_union mspace
+            ~micro:(1, rank ca.Coaccess.dst_typ)
+            ~src_rows:(rows mid_prefix ws)
+            ~dst_rows:(rows Coaccess.dst_prefix dst_stmt)
+        in
+        (* Project away y for every combination of ordering depths. *)
+        let shadow =
+          List.concat_map
+            (fun p1 ->
+              List.map
+                (fun p2 ->
+                  Poly.cast ca.Coaccess.space
+                    (Poly.eliminate
+                       (Poly.intersect (Poly.intersect base p1) p2)
+                       mid_vars))
+                mid_before_dst)
+            src_before_mid
+        in
+        let shadow =
+          Union.of_polys ca.Coaccess.space
+            (List.filter (fun p -> not (Poly.is_obviously_empty (Poly.simplify p))) shadow)
+        in
+        Union.subtract extent shadow)
+      ca.Coaccess.extent writes
+  in
+  Coaccess.restrict_extent ca extent
+
+(* Drop extent disjuncts that have no integer point at the reference
+   parameters; drop the co-access entirely when nothing remains. *)
+let prune_at ~ref_params (ca : Coaccess.t) =
+  let keep =
+    List.filter
+      (fun d -> not (Poly.is_integrally_empty (Poly.fix_dims d ref_params)))
+      (Union.disjuncts ca.Coaccess.extent)
+  in
+  if keep = [] then None
+  else Some (Coaccess.restrict_extent ca (Union.of_polys ca.Coaccess.space keep))
+
+(* The paper treats accesses that always touch the same block as one access
+   (e.g. the two reads of A[i,j] in A[i,j]+A[i,j]).  Two access maps can also
+   coincide only on the statement's domain (X'X reads X[k,i] and X[k,j] with
+   i = j = 0), so equivalence is checked semantically at the reference
+   parameters. *)
+let dedup_accesses ~ref_params (s : Stmt.t) =
+  let insts = lazy (Poly.enumerate (Poly.fix_dims s.Stmt.domain ref_params)) in
+  let active (a : Access.t) inst =
+    match a.Access.restrict_to with
+    | None -> true
+    | Some r ->
+        Poly.mem (Poly.fix_dims r ref_params) (fun n -> List.assoc n inst)
+  in
+  let blocks (a : Access.t) =
+    List.map
+      (fun inst ->
+        if active a inst then
+          Some
+            (Access.block_of a (fun n ->
+                 match List.assoc_opt n inst with
+                 | Some v -> v
+                 | None -> List.assoc n ref_params))
+        else None)
+      (Lazy.force insts)
+  in
+  let seen : (Access.typ * string * int array option list) list ref = ref [] in
+  List.filteri
+    (fun _i (a : Access.t) ->
+      let sig_ = (a.Access.typ, a.Access.array, blocks a) in
+      if List.mem sig_ !seen then false
+      else begin
+        seen := sig_ :: !seen;
+        true
+      end)
+    s.Stmt.accesses
+
+let all_coaccesses ~ref_params (prog : Program.t) =
+  let accesses =
+    List.concat_map
+      (fun (s : Stmt.t) ->
+        let kept = dedup_accesses ~ref_params s in
+        List.filter_map
+          (fun (i, a) -> if List.memq a kept then Some (s, i, a) else None)
+          (List.mapi (fun i a -> (i, a)) s.Stmt.accesses))
+      prog.Program.stmts
+  in
+  List.concat_map
+    (fun (s, i, (a : Access.t)) ->
+      List.filter_map
+        (fun (s', i', (a' : Access.t)) ->
+          if a.Access.array <> a'.Access.array then None
+          else Some (Coaccess.make prog ~src:(s, i) ~dst:(s', i')))
+        accesses)
+    accesses
+
+let extract (prog : Program.t) ~ref_params =
+  let cas = all_coaccesses ~ref_params prog in
+  let deps =
+    List.filter Coaccess.is_dependence cas
+    |> List.map (no_write_in_between prog)
+    |> List.filter_map (prune_at ~ref_params)
+  in
+  let sharing =
+    List.filter Coaccess.is_sharing cas
+    |> List.map (no_write_in_between prog)
+    |> List.filter_map (prune_at ~ref_params)
+    |> List.map (Reduce.reduce ~ref_params)
+    |> List.filter_map (prune_at ~ref_params)
+  in
+  { dependences = deps; sharing }
+
+(* Ground truth by enumeration, for the independent legality checker. *)
+let concrete_dependence_pairs (prog : Program.t) ~params =
+  (* Ordered trace of (time, stmt, instance, access) tuples. *)
+  let events =
+    List.concat_map
+      (fun (s : Stmt.t) ->
+        let sched = Sched.find prog.Program.original s.Stmt.name in
+        List.concat_map
+          (fun inst ->
+            let lookup n =
+              match List.assoc_opt n inst with
+              | Some v -> v
+              | None -> List.assoc n params
+            in
+            let time = Sched.time_of sched lookup in
+            List.filter_map
+              (fun (a : Access.t) ->
+                let live =
+                  match a.Access.restrict_to with
+                  | None -> true
+                  | Some r -> Poly.mem (Poly.fix_dims r params) (fun n -> List.assoc n inst)
+                in
+                if live then Some (time, s.Stmt.name, inst, a) else None)
+              s.Stmt.accesses)
+          (Program.instances prog s ~params))
+      prog.Program.stmts
+  in
+  (* Group by block. *)
+  let tbl = Hashtbl.create 256 in
+  List.iter
+    (fun ((_, _, inst, a) as ev) ->
+      let lookup n =
+        match List.assoc_opt n inst with Some v -> v | None -> List.assoc n params
+      in
+      let block = (a.Access.array, Array.to_list (Access.block_of a lookup)) in
+      Hashtbl.replace tbl block (ev :: (Option.value ~default:[] (Hashtbl.find_opt tbl block))))
+    events;
+  let pairs = ref [] in
+  Hashtbl.iter
+    (fun _ evs ->
+      let evs =
+        List.sort (fun (t1, _, _, _) (t2, _, _, _) -> Sched.lex_compare t1 t2) evs
+      in
+      let rec go = function
+        | [] -> ()
+        | (t1, s1, i1, a1) :: rest ->
+            List.iter
+              (fun (t2, s2, i2, (a2 : Access.t)) ->
+                if Sched.lex_compare t1 t2 < 0
+                   && (Access.is_write a1 || Access.is_write a2) then
+                  pairs := ((s1, i1), (s2, i2)) :: !pairs)
+              rest;
+            go rest
+      in
+      go evs)
+    tbl;
+  (* A pair may arise from several blocks; dedup. *)
+  List.sort_uniq compare !pairs

@@ -1,0 +1,29 @@
+(** Extraction of data dependences and I/O sharing opportunities
+    (Definitions 2-3) with no-write-in-between pruning (Section 5.1).
+
+    Existence pruning is performed at reference parameter values: the paper
+    notes that whether an opportunity exists can depend on the parameters
+    (e.g. [s2RC -> s2RC] disappears when [n3 = 1]), so analysis is run per
+    configuration. *)
+
+type result = {
+  dependences : Coaccess.t list;
+  sharing : Coaccess.t list;  (** one-one, no-write-in-between *)
+}
+
+val extract : Riot_ir.Program.t -> ref_params:(string * int) list -> result
+
+val no_write_in_between :
+  Riot_ir.Program.t -> Coaccess.t -> Coaccess.t
+(** Remove from the extent every pair with an intervening write to the same
+    block in the original schedule. *)
+
+val concrete_dependence_pairs :
+  Riot_ir.Program.t ->
+  params:(string * int) list ->
+  ((string * (string * int) list) * (string * (string * int) list)) list
+(** Ground truth for legality checking: all ordered pairs of statement
+    instances ((stmt, instance), (stmt', instance')) that touch a common
+    block where at least one access is a write and the first executes before
+    the second under the original schedule.  Computed by direct enumeration,
+    independently of the polyhedral machinery. *)

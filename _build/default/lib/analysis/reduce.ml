@@ -1,0 +1,204 @@
+module Space = Riot_poly.Space
+module Poly = Riot_poly.Poly
+module Aff = Riot_poly.Aff
+module Union = Riot_poly.Union
+module Q = Riot_base.Q
+module Mat = Riot_linalg.Mat
+module Vec = Riot_linalg.Vec
+
+let log = Logs.Src.create "riot.analysis.reduce" ~doc:"multiplicity reduction"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* Coefficient matrix (over the space dimensions, constants dropped) of the
+   equality constraints of a simplified polyhedron. *)
+let eq_matrix p =
+  let n = Space.dim (Poly.space p) in
+  Array.of_list
+    (List.map
+       (fun (a : Aff.t) -> Array.map Q.of_int (Array.sub a.Aff.coeffs 0 n))
+       (Poly.eqs p))
+
+let restrict_cols m cols = Array.map (fun row -> Array.of_list (List.map (fun c -> row.(c)) cols)) m
+
+(* Is dimension [d] determined by the other dimensions, given that the
+   dimensions in [later] must not be used?  True iff the unit vector on [d]
+   lies in the row space of the equality matrix projected onto
+   [later @ [d]]. *)
+let determined p ~later d =
+  let space = Poly.space p in
+  let cols = List.map (Space.index space) (later @ [ d ]) in
+  let m = restrict_cols (eq_matrix p) cols in
+  let target = Array.append (Array.make (List.length later) Q.zero) [| Q.one |] in
+  Mat.in_row_space m target
+
+(* Degrees of freedom of one side: rank of the null-space basis of the
+   equality matrix restricted to the side's columns. *)
+let side_rank p side_dims =
+  let space = Poly.space p in
+  let basis = Mat.null_space (eq_matrix p) in
+  if basis = [] then 0
+  else
+    let cols = List.map (Space.index space) side_dims in
+    Mat.rank (restrict_cols (Array.of_list basis) cols)
+
+(* Reduce the free dimensions of [side_dims] (in outer-to-inner order) of one
+   disjunct.  [direction] picks lexmin (`Lo`, for targets: closest later
+   instance) or lexmax (`Hi`, for sources: closest earlier instance).
+   [peer_dims] are the other side's dimensions, used for rank-preserving
+   diagonal pairing. *)
+let reduce_disjunct ~ref_params ~side_dims ~peer_dims ~direction ~min_rank p0 =
+  let fixed_params p = Poly.fix_dims p ref_params in
+  let nonempty p = not (Poly.is_integrally_empty (fixed_params p)) in
+  let rank_ok p =
+    side_rank p side_dims >= min_rank && side_rank p peer_dims >= min_rank
+  in
+  let fix_dim p d later =
+    if determined p ~later d then Some p
+    else begin
+      let sample =
+        match Poly.sample (fixed_params p) with
+        | Some s -> s
+        | None -> []
+      in
+      let lookup n =
+        match List.assoc_opt n sample with
+        | Some v -> v
+        | None -> ( match List.assoc_opt n ref_params with Some v -> v | None -> 0)
+      in
+      let dcoeff (a : Aff.t) = Aff.coeff a d in
+      let uses_later a = List.exists (fun l -> Aff.coeff a l <> 0) later in
+      (* Candidate bound constraints to bind as equalities, each tagged with
+         the value of [d] it pins at the sample point:
+         c*d + rest = 0  ->  d = -rest/c. *)
+      let bounds =
+        List.filter_map
+          (fun a ->
+            let c = dcoeff a in
+            let want = match direction with `Lo -> c > 0 | `Hi -> c < 0 in
+            if want && not (uses_later a) then
+              let r = Aff.eval a (fun n -> if n = d then 0 else lookup n) in
+              Some (a, Q.make (-r) c)
+            else None)
+          (Poly.ges p)
+      in
+      let cmp (_, v1) (_, v2) =
+        match direction with `Lo -> Q.compare v2 v1 | `Hi -> Q.compare v1 v2
+      in
+      let bounds = List.stable_sort cmp bounds in
+      let diagonal =
+        (* Pair with the peer statement's loop variable at the same level. *)
+        let level = ref (-1) in
+        List.iteri (fun i n -> if n = d then level := i) side_dims;
+        if !level >= 0 && !level < List.length peer_dims then
+          let peer = List.nth peer_dims !level in
+          Some (Aff.sub (Aff.dim (Poly.space p) d) (Aff.dim (Poly.space p) peer))
+        else None
+      in
+      let candidates =
+        List.map (fun (a, _) -> a) bounds
+        @ (match diagonal with Some e -> [ e ] | None -> [])
+      in
+      let try_candidate a =
+        let p' = Poly.simplify (Poly.add_eq p a) in
+        if nonempty p' && rank_ok p' then Some p' else None
+      in
+      match List.find_map try_candidate candidates with
+      | Some p' -> Some p'
+      | None ->
+          Log.warn (fun m ->
+              m "multiplicity reduction: could not bind %s; leaving free" d);
+          None
+    end
+  in
+  let rec go p = function
+    | [] -> p
+    | d :: rest ->
+        let later = rest in
+        (match fix_dim p d later with
+        | Some p' -> go p' rest
+        | None -> go p rest)
+  in
+  go (Poly.simplify p0) side_dims
+
+let reduce (ca : Coaccess.t) ~ref_params =
+  let min_rank d =
+    min (side_rank d ca.Coaccess.src_vars) (side_rank d ca.Coaccess.dst_vars)
+  in
+  let reduce_one d =
+    let d = Poly.simplify d in
+    if Poly.is_obviously_empty d then d
+    else begin
+      let mr = min_rank d in
+      (* Targets first: bind each free target dimension to the time-closest
+         (lexmin) instance; then sources with lexmax. *)
+      let d =
+        reduce_disjunct ~ref_params ~side_dims:ca.Coaccess.dst_vars
+          ~peer_dims:ca.Coaccess.src_vars ~direction:`Lo ~min_rank:mr d
+      in
+      reduce_disjunct ~ref_params ~side_dims:ca.Coaccess.src_vars
+        ~peer_dims:ca.Coaccess.dst_vars ~direction:`Hi ~min_rank:mr d
+    end
+  in
+  let reduced = List.map reduce_one (Union.disjuncts ca.Coaccess.extent) in
+  (* Per-disjunct reduction can still overlap globally on degenerate extents
+     (e.g. every instance reading one constant block): enforce the linear
+     sharing model across disjuncts by greedily keeping the largest
+     disjuncts whose concrete source and target sets do not collide. *)
+  let concrete d =
+    Coaccess.pairs_at
+      (Coaccess.restrict_extent ca (Union.of_polys ca.Coaccess.space [ d ]))
+      ~params:ref_params
+  in
+  let with_pairs =
+    List.map (fun d -> (d, concrete d)) reduced
+    |> List.stable_sort (fun (_, a) (_, b) -> compare (List.length b) (List.length a))
+  in
+  let seen_src = Hashtbl.create 64 and seen_dst = Hashtbl.create 64 in
+  let internally_one_one pairs =
+    let src = Hashtbl.create 16 and dst = Hashtbl.create 16 in
+    List.for_all
+      (fun (s, t) ->
+        let ok = (not (Hashtbl.mem src s)) && not (Hashtbl.mem dst t) in
+        Hashtbl.replace src s ();
+        Hashtbl.replace dst t ();
+        ok)
+      pairs
+  in
+  let kept =
+    List.filter_map
+      (fun (d, pairs) ->
+        let clash =
+          (not (internally_one_one pairs))
+          || List.exists
+               (fun (s, t) -> Hashtbl.mem seen_src s || Hashtbl.mem seen_dst t)
+               pairs
+        in
+        if clash then begin
+          Log.info (fun m ->
+              m "%s: dropping an overlapping reduced disjunct (%d pairs)"
+                (Coaccess.label ca) (List.length pairs));
+          None
+        end
+        else begin
+          List.iter
+            (fun (s, t) ->
+              Hashtbl.replace seen_src s ();
+              Hashtbl.replace seen_dst t ())
+            pairs;
+          Some d
+        end)
+      with_pairs
+  in
+  Coaccess.restrict_extent ca (Union.of_polys ca.Coaccess.space kept)
+
+let is_one_one ca ~ref_params =
+  let pairs = Coaccess.pairs_at ca ~params:ref_params in
+  let srcs = Hashtbl.create 64 and dsts = Hashtbl.create 64 in
+  List.for_all
+    (fun (s, d) ->
+      let ok = (not (Hashtbl.mem srcs s)) && not (Hashtbl.mem dsts d) in
+      Hashtbl.add srcs s ();
+      Hashtbl.add dsts d ();
+      ok)
+    pairs

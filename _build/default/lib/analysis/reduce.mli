@@ -1,0 +1,19 @@
+(** Multiplicity reduction (Remark A.1 of the paper).
+
+    Under the linear sharing model only time-consecutive accesses share I/O,
+    so every sharing opportunity is reduced to a one-one relation.  For each
+    non-determined dimension of the "many" side we bind the tightest bound
+    constraint (lexicographically closest instance in original execution
+    time), preferring reductions that keep the rank of both sides at or above
+    the minimum of the original ranks; when a time-closest reduction would
+    collapse the rank, a rank-preserving diagonal pairing with the peer
+    statement's same-level loop variable is used instead (Figure 7(b)). *)
+
+val reduce : Coaccess.t -> ref_params:(string * int) list -> Coaccess.t
+(** Make the sharing opportunity one-one.  Dependences must never be passed
+    through this function (the paper: reduction does not apply to
+    dependences). *)
+
+val is_one_one : Coaccess.t -> ref_params:(string * int) list -> bool
+(** Concrete check at the reference parameters: every source instance is
+    related to at most one target and vice versa. *)

@@ -1,0 +1,1 @@
+lib/base/q.mli: Format

@@ -1,0 +1,31 @@
+exception Overflow
+
+let add a b =
+  let r = a + b in
+  if (a >= 0) = (b >= 0) && (r >= 0) <> (a >= 0) then raise Overflow else r
+
+let neg a = if a = min_int then raise Overflow else -a
+
+let sub a b = if b = min_int then add (add a 1) (neg (b + 1)) else add a (neg b)
+
+let mul a b =
+  if a = 0 || b = 0 then 0
+  else
+    let r = a * b in
+    if r / b <> a || (a = min_int && b = -1) then raise Overflow else r
+
+let abs a = if a < 0 then neg a else a
+
+let rec gcd_pos a b = if b = 0 then a else gcd_pos b (a mod b)
+
+let gcd a b = gcd_pos (abs a) (abs b)
+
+let lcm a b = if a = 0 || b = 0 then 0 else abs (mul (a / gcd a b) b)
+
+let fdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) <> (b < 0) then q - 1 else q
+
+let cdiv a b =
+  let q = a / b and r = a mod b in
+  if r <> 0 && (r < 0) = (b < 0) then q + 1 else q

@@ -1,0 +1,36 @@
+(** Overflow-checked arithmetic on native [int].
+
+    The polyhedral machinery (Fourier–Motzkin elimination in particular) can
+    grow coefficients combinatorially.  All coefficient arithmetic in the
+    library goes through this module so that a silent wrap-around can never
+    corrupt an optimization decision: any overflow raises {!Overflow}
+    instead. *)
+
+exception Overflow
+
+val add : int -> int -> int
+(** [add a b] is [a + b]; raises {!Overflow} on wrap-around. *)
+
+val sub : int -> int -> int
+(** [sub a b] is [a - b]; raises {!Overflow} on wrap-around. *)
+
+val mul : int -> int -> int
+(** [mul a b] is [a * b]; raises {!Overflow} on wrap-around. *)
+
+val neg : int -> int
+(** [neg a] is [-a]; raises {!Overflow} for [min_int]. *)
+
+val abs : int -> int
+(** [abs a]; raises {!Overflow} for [min_int]. *)
+
+val gcd : int -> int -> int
+(** [gcd a b] is the non-negative greatest common divisor; [gcd 0 0 = 0]. *)
+
+val lcm : int -> int -> int
+(** [lcm a b] is the non-negative least common multiple; overflow-checked. *)
+
+val fdiv : int -> int -> int
+(** [fdiv a b] is the floor division of [a] by [b] ([b <> 0]). *)
+
+val cdiv : int -> int -> int
+(** [cdiv a b] is the ceiling division of [a] by [b] ([b <> 0]). *)

@@ -1,0 +1,50 @@
+module C = Checked
+
+type t = { num : int; den : int }
+
+let make num den =
+  if den = 0 then raise Division_by_zero
+  else
+    let s = if den < 0 then -1 else 1 in
+    let num = C.mul s num and den = C.mul s den in
+    let g = C.gcd num den in
+    if g = 0 then { num = 0; den = 1 } else { num = num / g; den = den / g }
+
+let of_int n = { num = n; den = 1 }
+let zero = of_int 0
+let one = of_int 1
+let minus_one = of_int (-1)
+let num t = t.num
+let den t = t.den
+
+let add a b = make (C.add (C.mul a.num b.den) (C.mul b.num a.den)) (C.mul a.den b.den)
+let neg a = { a with num = C.neg a.num }
+let sub a b = add a (neg b)
+let mul a b = make (C.mul a.num b.num) (C.mul a.den b.den)
+
+let inv a =
+  if a.num = 0 then raise Division_by_zero
+  else if a.num < 0 then { num = C.neg a.den; den = C.neg a.num }
+  else { num = a.den; den = a.num }
+
+let div a b = mul a (inv b)
+let abs a = { a with num = C.abs a.num }
+let sign a = compare a.num 0
+let is_zero a = a.num = 0
+let is_integer a = a.den = 1
+let compare a b = compare (C.mul a.num b.den) (C.mul b.num a.den)
+let equal a b = a.num = b.num && a.den = b.den
+let min a b = if compare a b <= 0 then a else b
+let max a b = if compare a b >= 0 then a else b
+let floor a = C.fdiv a.num a.den
+let ceil a = C.cdiv a.num a.den
+let to_float a = float_of_int a.num /. float_of_int a.den
+
+let to_int_exn a =
+  if a.den = 1 then a.num else invalid_arg "Q.to_int_exn: not an integer"
+
+let pp ppf a =
+  if a.den = 1 then Format.fprintf ppf "%d" a.num
+  else Format.fprintf ppf "%d/%d" a.num a.den
+
+let to_string a = Format.asprintf "%a" pp a

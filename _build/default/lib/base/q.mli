@@ -1,0 +1,51 @@
+(** Exact rational numbers over overflow-checked native integers.
+
+    Values are kept normalised: the denominator is positive and
+    [gcd num den = 1].  Used by the exact linear algebra and the
+    Fourier–Motzkin machinery. *)
+
+type t = private { num : int; den : int }
+
+val make : int -> int -> t
+(** [make num den] is the normalised rational [num/den].
+    @raise Division_by_zero if [den = 0]. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val minus_one : t
+
+val num : t -> int
+val den : t -> int
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val inv : t -> t
+val abs : t -> t
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val sign : t -> int
+val is_zero : t -> bool
+val is_integer : t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val floor : t -> int
+(** Greatest integer [<= t]. *)
+
+val ceil : t -> int
+(** Least integer [>= t]. *)
+
+val to_float : t -> float
+val to_int_exn : t -> int
+(** @raise Invalid_argument if the value is not an integer. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

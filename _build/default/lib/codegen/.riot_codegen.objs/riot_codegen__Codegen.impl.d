@@ -1,0 +1,1 @@
+lib/codegen/codegen.ml: Array Buffer Format Fun List Printf Riot_base Riot_ir Riot_poly String

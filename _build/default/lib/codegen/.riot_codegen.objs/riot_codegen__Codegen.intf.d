@@ -1,0 +1,1 @@
+lib/codegen/codegen.mli: Riot_ir Riot_poly

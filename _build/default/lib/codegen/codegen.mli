@@ -1,0 +1,61 @@
+(** Polyhedral code generation (the role CLooG plays in the paper's
+    Section 5.5): turn a program plus a schedule back into loop code that
+    scans every statement instance in lexicographic time order.
+
+    The generator follows the classical recursive-projection scheme: for
+    each schedule dimension it projects the statements' time polyhedra onto
+    the outer dimensions (Fourier-Motzkin), emits a loop whose bounds are
+    the union of the statements' bounds (with [ceild]/[floord] for rational
+    bounds), guards statements whose own bounds are strictly tighter, and
+    recovers the original loop variables by exactly solving the schedule
+    equations (adding divisibility guards when a solution has a modulus).
+    The final schedule dimension is the constant textual position, so it
+    becomes statement order rather than a loop.
+
+    The output is an AST with a C pretty-printer - the transformed code of
+    the paper's Figure 1(b)/Section 5.5 - and an interpreter used by the
+    test-suite to check that the emitted code enumerates exactly the
+    schedule's instance sequence. *)
+
+type bound = { num : Riot_poly.Aff.t; den : int }
+(** [num/den], over time variables [t1..] and program parameters. *)
+
+type guard =
+  | Ge of Riot_poly.Aff.t  (** expression [>= 0] *)
+  | Divisible of Riot_poly.Aff.t * int  (** expression [= 0 (mod d)] *)
+
+type ast =
+  | Loop of {
+      var : string;
+      lower : bound list;
+      lower_cover : bool;
+          (** false: bounds combine with [max] (all hold); true: with [min]
+              (covering union; leaf guards filter) *)
+      upper : bound list;
+      upper_cover : bool;  (** false: combine with [min]; true: with [max] *)
+      body : ast list;
+    }
+      (** [for (var = ...; var <= ...; var++)] *)
+  | Guarded of guard list * ast
+  | Exec of { stmt : string; bindings : (string * bound) list }
+      (** run the statement instance whose loop variables take the given
+          affine values (already integral when the guards hold) *)
+
+val generate :
+  Riot_ir.Program.t -> sched:Riot_ir.Sched.program_sched -> ast list
+(** @raise Failure when a statement's schedule rows do not determine its
+    loop variables (the optimizer's dimensionality constraints guarantee
+    they do for every schedule it emits). *)
+
+val interpret :
+  Riot_ir.Program.t ->
+  ast list ->
+  params:(string * int) list ->
+  (string * (string * int) list) list
+(** Execute the AST abstractly: the sequence of (statement, instance)
+    pairs it visits, in order. Loop bounds outside [-10^6, 10^6] raise
+    (runaway-loop guard). *)
+
+val to_c : Riot_ir.Program.t -> ast list -> string
+(** Pretty-print as C-style code, with the statements' computations shown
+    as comments (the in-memory computation is opaque to the optimizer). *)

@@ -1,0 +1,1 @@
+lib/core/api.ml: Format Hashtbl List Riot_analysis Riot_exec Riot_ir Riot_optimizer Riot_plan Riot_storage String

@@ -1,0 +1,1 @@
+lib/core/api.mli: Format Riot_analysis Riot_exec Riot_ir Riot_optimizer Riot_plan Riot_storage

@@ -1,0 +1,1 @@
+lib/core/block_select.ml: Api Array List Riot_ir

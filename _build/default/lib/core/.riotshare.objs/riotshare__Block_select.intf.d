@@ -1,0 +1,1 @@
+lib/core/block_select.mli: Api Riot_ir Riot_plan

@@ -1,0 +1,106 @@
+module Program = Riot_ir.Program
+module Config = Riot_ir.Config
+module Deps = Riot_analysis.Deps
+module Coaccess = Riot_analysis.Coaccess
+module Search = Riot_optimizer.Search
+module Cplan = Riot_plan.Cplan
+module Machine = Riot_plan.Machine
+module Backend = Riot_storage.Backend
+module Engine = Riot_exec.Engine
+
+type costed_plan = {
+  plan : Search.plan;
+  cplan : Cplan.t;
+  predicted_io_seconds : float;
+  predicted_cpu_seconds : float;
+  memory_bytes : int;
+}
+
+type t = {
+  program : Program.t;
+  config : Config.t;
+  machine : Machine.t;
+  analysis : Deps.result;
+  plans : costed_plan list;
+  search_stats : Search.stats;
+}
+
+let cost_plan ?cache machine program config (plan : Search.plan) =
+  let cplan =
+    Cplan.build ?cache program ~config ~sched:plan.Search.sched ~realized:plan.Search.q
+  in
+  { plan;
+    cplan;
+    predicted_io_seconds = Cplan.predicted_io_seconds machine cplan;
+    predicted_cpu_seconds = Cplan.cpu_seconds machine cplan;
+    memory_bytes = cplan.Cplan.peak_memory }
+
+let optimize ?(machine = Machine.paper) ?max_size ?verify program ~config =
+  let ref_params = config.Config.params in
+  let analysis = Deps.extract program ~ref_params in
+  let plans, search_stats =
+    Search.enumerate ?verify ?max_size program ~analysis ~ref_params
+  in
+  let cache = Cplan.cache program ~config in
+  let plans = List.map (cost_plan ~cache machine program config) plans in
+  { program; config; machine; analysis; plans; search_stats }
+
+let recost t ~config =
+  let cache = Cplan.cache t.program ~config in
+  { t with
+    config;
+    plans = List.map (fun p -> cost_plan ~cache t.machine t.program config p.plan) t.plans }
+
+let best ?mem_cap_bytes t =
+  let fits p =
+    match mem_cap_bytes with None -> true | Some cap -> p.memory_bytes <= cap
+  in
+  match
+    List.filter fits t.plans
+    |> List.sort (fun a b ->
+           compare
+             (a.predicted_io_seconds, a.memory_bytes)
+             (b.predicted_io_seconds, b.memory_bytes))
+  with
+  | [] -> raise Not_found
+  | p :: _ -> p
+
+let original t =
+  List.find (fun p -> p.plan.Search.q = []) t.plans
+
+let distinct_cost_points t =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun p ->
+      let k = (p.memory_bytes, int_of_float (p.predicted_io_seconds *. 1000.)) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    t.plans
+
+let execute ?compute ?stores costed ~backend ~format =
+  Engine.run ?compute ?stores costed.cplan ~backend ~format
+    ~mem_cap:costed.memory_bytes
+
+let simulated_backend ?retain_data (m : Machine.t) =
+  Backend.sim ?retain_data ~read_bw:m.Machine.read_bw ~write_bw:m.Machine.write_bw
+    ~request_overhead:m.Machine.request_overhead ()
+
+let pp_costed ppf p =
+  Format.fprintf ppf "plan %d: mem=%.1f MB, io=%.1f s, cpu=%.1f s {%s}"
+    p.plan.Search.index
+    (float_of_int p.memory_bytes /. 1048576.)
+    p.predicted_io_seconds p.predicted_cpu_seconds
+    (String.concat "; " (List.map Coaccess.label p.plan.Search.q))
+
+let pp_summary ppf t =
+  Format.fprintf ppf
+    "@[<v>program %s: %d sharing opportunities, %d dependences, %d plans (%.1fs search)@ %a@]"
+    t.program.Program.name
+    (List.length t.analysis.Deps.sharing)
+    (List.length t.analysis.Deps.dependences)
+    (List.length t.plans) t.search_stats.Search.elapsed
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_costed)
+    (distinct_cost_points t)

@@ -1,0 +1,83 @@
+(** RIOTShare: the end-to-end I/O-sharing optimizer.
+
+    The one-stop API over the layered libraries: describe a blocked-array
+    program (with {!Riot_ops.Op} or {!Riot_ir.Build}), pick a size
+    configuration, then
+
+    + {!optimize} - extract dependences and sharing opportunities, enumerate
+      legal plans (Apriori over opportunity subsets), cost each plan (I/O
+      volume, peak memory, CPU);
+    + {!best} - select the cheapest plan that fits the memory cap;
+    + {!execute} - run a plan through the buffer-managed storage engine
+      (real files, or the simulated full-scale disk).
+
+    {[
+      let prog = Riot_ops.Programs.add_mul () in
+      let opt = Api.optimize prog ~config:Riot_ops.Programs.table2 in
+      let best = Api.best ~mem_cap_bytes:(8 * 1024 * 1024 * 1024) opt in
+      Format.printf "%a@." Api.pp_costed best
+    ]} *)
+
+type costed_plan = {
+  plan : Riot_optimizer.Search.plan;
+  cplan : Riot_plan.Cplan.t;
+  predicted_io_seconds : float;
+  predicted_cpu_seconds : float;
+  memory_bytes : int;
+}
+
+type t = {
+  program : Riot_ir.Program.t;
+  config : Riot_ir.Config.t;
+  machine : Riot_plan.Machine.t;
+  analysis : Riot_analysis.Deps.result;
+  plans : costed_plan list;
+  search_stats : Riot_optimizer.Search.stats;
+}
+
+val optimize :
+  ?machine:Riot_plan.Machine.t ->
+  ?max_size:int ->
+  ?verify:bool ->
+  Riot_ir.Program.t ->
+  config:Riot_ir.Config.t ->
+  t
+(** Analyse and enumerate all costed plans for the program under the
+    configuration's parameters.  [machine] defaults to the paper's
+    measurements; [max_size] caps the opportunity-subset size; [verify]
+    (default true) re-checks every schedule concretely. *)
+
+val recost : t -> config:Riot_ir.Config.t -> t
+(** Re-evaluate every plan under different sizes without repeating the
+    schedule search (the paper's Section 5.4 remark: schedules are
+    parameter-independent, so "should the parameters change, we can simply
+    plug the new values in instead of performing optimization all over
+    again").  The sharing realized by each plan is re-derived at the new
+    parameters from the same symbolic extents. *)
+
+val best : ?mem_cap_bytes:int -> t -> costed_plan
+(** The plan with the least predicted I/O among those whose peak memory fits
+    the cap (default: unlimited).  Ties break toward less memory.
+    @raise Not_found if no plan fits. *)
+
+val original : t -> costed_plan
+(** The unoptimized original-schedule plan (Plan 0). *)
+
+val distinct_cost_points : t -> costed_plan list
+(** One representative per distinct (memory, I/O) point - the paper's plan
+    scatter plots collapse behaviourally identical subsets. *)
+
+val execute :
+  ?compute:bool ->
+  ?stores:(string * Riot_storage.Block_store.t) list ->
+  costed_plan ->
+  backend:Riot_storage.Backend.t ->
+  format:Riot_storage.Block_store.format ->
+  Riot_exec.Engine.result
+(** Run the plan with a memory cap equal to its computed requirement. *)
+
+val simulated_backend : ?retain_data:bool -> Riot_plan.Machine.t -> Riot_storage.Backend.t
+(** A simulated disk matching the machine model. *)
+
+val pp_costed : Format.formatter -> costed_plan -> unit
+val pp_summary : Format.formatter -> t -> unit

@@ -1,0 +1,60 @@
+module Config = Riot_ir.Config
+
+let refine (cfg : Config.t) ~factor =
+  if factor < 1 then invalid_arg "Block_select.refine: factor must be >= 1";
+  if factor = 1 then Some cfg
+  else begin
+    let ok =
+      List.for_all
+        (fun (_, (l : Config.layout)) ->
+          Array.for_all (fun b -> b = 1 || b mod factor = 0) l.Config.block_elems)
+        cfg.Config.layouts
+    in
+    if not ok then None
+    else
+      Some
+        { Config.params = List.map (fun (p, v) -> (p, v * factor)) cfg.Config.params;
+          layouts =
+            List.map
+              (fun (name, (l : Config.layout)) ->
+                (name,
+                  { l with
+                    Config.grid = Array.map (fun g -> g * factor) l.Config.grid;
+                    block_elems =
+                      Array.map (fun b -> if b = 1 then 1 else b / factor) l.Config.block_elems }))
+              cfg.Config.layouts }
+  end
+
+let candidate_factors cfg ~max_factor =
+  List.filter
+    (fun f -> refine cfg ~factor:f <> None)
+    (List.init max_factor (fun i -> i + 1))
+
+type choice = { factor : int; config : Config.t; best : Api.costed_plan }
+
+let jointly_optimize ?machine ?max_size ?(max_factor = 4) program ~base ~mem_cap_bytes =
+  let choices =
+    List.filter_map
+      (fun factor ->
+        match refine base ~factor with
+        | None -> None
+        | Some config -> (
+            let opt = Api.optimize ?machine ?max_size program ~config in
+            match Api.best ~mem_cap_bytes opt with
+            | best -> Some { factor; config; best }
+            | exception Not_found -> None))
+      (candidate_factors base ~max_factor)
+  in
+  let winner =
+    match
+      List.sort
+        (fun a b ->
+          compare
+            (a.best.Api.predicted_io_seconds, a.best.Api.memory_bytes)
+            (b.best.Api.predicted_io_seconds, b.best.Api.memory_bytes))
+        choices
+    with
+    | [] -> None
+    | c :: _ -> Some c
+  in
+  (choices, winner)

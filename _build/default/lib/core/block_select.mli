@@ -1,0 +1,38 @@
+(** Joint block-size and I/O-sharing optimization - the extension the paper
+    names as ongoing work in Section 7 ("selecting optimal array block
+    sizes ... the optimizer can produce better plans that use memory more
+    effectively").
+
+    A refinement factor [f] multiplies every parameter and every block-grid
+    dimension by [f] and divides block contents by [f] along each dimension:
+    total array shapes, program semantics and sharing structure are
+    preserved while each block shrinks by [f^2] (for matrices), so plans
+    need less memory per resident block.  Under a tight memory cap this can
+    make an aggressive sharing plan feasible where the base blocking could
+    not fit it - the principled version of the paper's club-suit experiment,
+    run in the opposite direction. *)
+
+val refine : Riot_ir.Config.t -> factor:int -> Riot_ir.Config.t option
+(** The refined configuration, or [None] when some block dimension larger
+    than one is not divisible by [factor]. *)
+
+val candidate_factors : Riot_ir.Config.t -> max_factor:int -> int list
+(** Factors in [1..max_factor] applicable to the configuration. *)
+
+type choice = {
+  factor : int;
+  config : Riot_ir.Config.t;
+  best : Api.costed_plan;
+}
+
+val jointly_optimize :
+  ?machine:Riot_plan.Machine.t ->
+  ?max_size:int ->
+  ?max_factor:int ->
+  Riot_ir.Program.t ->
+  base:Riot_ir.Config.t ->
+  mem_cap_bytes:int ->
+  choice list * choice option
+(** Optimize the program under every candidate blocking ([max_factor]
+    defaults to 4); returns all per-factor winners that fit the cap and the
+    overall winner (least predicted I/O, then least memory). *)

@@ -1,0 +1,1 @@
+lib/exec/engine.ml: Array List Printf Riot_ir Riot_kernels Riot_plan Riot_storage Unix

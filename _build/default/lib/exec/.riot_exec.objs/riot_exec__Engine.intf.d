@@ -1,0 +1,1 @@
+lib/exec/engine.mli: Riot_ir Riot_plan Riot_storage

@@ -1,0 +1,226 @@
+module Cplan = Riot_plan.Cplan
+module Config = Riot_ir.Config
+module Access = Riot_ir.Access
+module Stmt = Riot_ir.Stmt
+module Program = Riot_ir.Program
+module Kernel = Riot_ir.Kernel
+module Backend = Riot_storage.Backend
+module Block_store = Riot_storage.Block_store
+module Buffer_pool = Riot_storage.Buffer_pool
+module Io_stats = Riot_storage.Io_stats
+module Dense = Riot_kernels.Dense
+
+type result = {
+  wall_seconds : float;
+  virtual_io_seconds : float;
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  pool_peak_bytes : int;
+}
+
+let snapshot backend =
+  let s = backend.Backend.stats in
+  (s.Io_stats.virtual_time, s.Io_stats.reads, s.Io_stats.writes, s.Io_stats.bytes_read,
+   s.Io_stats.bytes_written)
+
+let stores_for backend ~format ~config =
+  List.map
+    (fun (name, layout) ->
+      (name, Block_store.create backend ~format ~name ~layout))
+    config.Config.layouts
+
+let key_of (blk : Cplan.block) = (blk.Cplan.array, blk.Cplan.index)
+
+let run_opportunistic (plan : Cplan.t) ~backend ~format ~mem_cap =
+  let t0 = Unix.gettimeofday () in
+  let vt0, r0, w0, br0, bw0 = snapshot backend in
+  let stores = stores_for backend ~format ~config:plan.Cplan.config in
+  let store name = List.assoc name stores in
+  let pool = Buffer_pool.create ~phantom:true ~cap_bytes:mem_cap () in
+  Array.iter
+    (fun (st : Cplan.step) ->
+      List.iter
+        (fun ((_ : Access.t), blk, _) ->
+          ignore (Buffer_pool.get pool (store blk.Cplan.array) blk.Cplan.index))
+        st.Cplan.reads;
+      List.iter
+        (fun ((_ : Access.t), blk, _) ->
+          ignore (Buffer_pool.get_for_write pool (store blk.Cplan.array) blk.Cplan.index);
+          Buffer_pool.write_through pool (store blk.Cplan.array) blk.Cplan.index)
+        st.Cplan.writes)
+    plan.Cplan.steps;
+  let vt1, r1, w1, br1, bw1 = snapshot backend in
+  { wall_seconds = Unix.gettimeofday () -. t0;
+    virtual_io_seconds = vt1 -. vt0;
+    reads = r1 - r0;
+    writes = w1 - w0;
+    bytes_read = br1 - br0;
+    bytes_written = bw1 - bw0;
+    pool_peak_bytes = Buffer_pool.peak_bytes pool }
+
+let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
+  let t0 = Unix.gettimeofday () in
+  let vt0 = backend.Backend.stats.Io_stats.virtual_time in
+  let r0 = backend.Backend.stats.Io_stats.reads
+  and w0 = backend.Backend.stats.Io_stats.writes in
+  let br0 = backend.Backend.stats.Io_stats.bytes_read
+  and bw0 = backend.Backend.stats.Io_stats.bytes_written in
+  let stores =
+    match stores with
+    | Some s -> s
+    | None -> stores_for backend ~format ~config:plan.Cplan.config
+  in
+  let store name = List.assoc name stores in
+  let pool = Buffer_pool.create ~phantom:(not compute) ~cap_bytes:mem_cap () in
+  (* Pin bookkeeping per step index. *)
+  let n = Array.length plan.Cplan.steps in
+  let pin_start = Array.make n [] and pin_stop = Array.make n [] in
+  List.iter
+    (fun ((blk : Cplan.block), a, b) ->
+      if a >= 0 && a < n then pin_start.(a) <- blk :: pin_start.(a);
+      if b >= 0 && b < n then pin_stop.(b) <- blk :: pin_stop.(b))
+    plan.Cplan.pins;
+  Array.iteri
+    (fun i (st : Cplan.step) ->
+      let s = Program.find_stmt plan.Cplan.prog st.Cplan.stmt in
+      (* 1. Bring read blocks in. *)
+      let read_buffers =
+        List.map
+          (fun ((a : Access.t), blk, src) ->
+            let bs = store blk.Cplan.array in
+            (match src with
+            | Cplan.From_memory ->
+                if not (Buffer_pool.contains pool (key_of blk)) then
+                  failwith
+                    (Printf.sprintf
+                       "engine: step %d expected %s block in memory but it is absent" i
+                       blk.Cplan.array)
+            | Cplan.From_disk -> ());
+            let data = Buffer_pool.get pool bs blk.Cplan.index in
+            (a, blk, data))
+          st.Cplan.reads
+      in
+      (* 2. Resolve the write buffer and initialise the accumulator when this
+         is the first accumulating instance for the block (the self-read
+         access exists but is inactive here). *)
+      let write_buf =
+        match st.Cplan.writes with
+        | [] -> None
+        | ((wa : Access.t), blk, dst) :: _ ->
+            let bs = store blk.Cplan.array in
+            let self_read_active =
+              List.exists
+                (fun ((a : Access.t), b, _) -> Access.same_map wa a && b = blk)
+                read_buffers
+            in
+            let buf = Buffer_pool.get_for_write pool bs blk.Cplan.index in
+            if
+              compute
+              && Kernel.is_accumulating s.Stmt.kernel
+              && not self_read_active
+            then Dense.fill buf 0.;
+            Some (wa, blk, dst, buf, bs)
+      in
+      (* 3. Open pins that start at this step (blocks are resident now). *)
+      List.iter (fun blk -> Buffer_pool.pin pool (key_of blk)) pin_start.(i);
+      (* 4. Compute. *)
+      if compute then begin
+        (* Operands are resolved by the block they touch: duplicate-block
+           reads are merged in the plan, so two operands may share one
+           buffer (X'X reads X[k,0] twice). All operand blocks were brought
+           in by step 1. *)
+        let lookup n =
+          match List.assoc_opt n st.Cplan.instance with
+          | Some v -> v
+          | None -> List.assoc n plan.Cplan.config.Config.params
+        in
+        let operand_data =
+          List.map
+            (fun (oa : Access.t) ->
+              let idx = Array.to_list (Access.block_of oa lookup) in
+              if not (Buffer_pool.contains pool (oa.Access.array, idx)) then
+                failwith
+                  (Printf.sprintf "engine: step %d operand block %s missing" i
+                     oa.Access.array);
+              Buffer_pool.get pool (store oa.Access.array) idx)
+            (Stmt.operand_reads s)
+        in
+        match (s.Stmt.kernel, write_buf, operand_data) with
+        | Kernel.Gemm_acc { ta; tb }, Some (_, blk, _, c, _), [ a; b ] ->
+            let wl = Config.layout plan.Cplan.config blk.Cplan.array in
+            let m = wl.Config.block_elems.(0) and nn = wl.Config.block_elems.(1) in
+            let k = Array.length a / m in
+            Dense.gemm ~accumulate:true ~ta ~tb ~m ~n:nn ~k ~a ~b ~c
+        | Kernel.Assign_add, Some (_, _, _, c, _), [ a; b ] -> Dense.add a b c
+        | Kernel.Assign_sub, Some (_, _, _, c, _), [ a; b ] -> Dense.sub a b c
+        | Kernel.Copy, Some (_, _, _, c, _), [ a ] -> Dense.copy ~src:a ~dst:c
+        | Kernel.Invert, Some (_, blk, _, c, _), [ a ] ->
+            let wl = Config.layout plan.Cplan.config blk.Cplan.array in
+            Dense.invert ~n:wl.Config.block_elems.(0) a c
+        | Kernel.Rss_acc, Some (_, _, _, c, _), [ e ] ->
+            let fst_read =
+              match Stmt.operand_reads s with
+              | (a : Access.t) :: _ -> a.Access.array
+              | [] -> assert false
+            in
+            let el = Config.layout plan.Cplan.config fst_read in
+            Dense.rss_acc ~rows:el.Config.block_elems.(0) ~cols:el.Config.block_elems.(1)
+              ~e ~acc:c
+        | Kernel.Filter, Some (_, _, _, c, _), [ a ] -> Dense.filter_pos ~src:a ~dst:c
+        | Kernel.Foreach, Some (_, _, _, c, _), [ a ] ->
+            Dense.foreach_affine ~src:a ~dst:c
+        | Kernel.Join_nl, Some (_, blk, _, c, _), [ l; r ] ->
+            let wl = Config.layout plan.Cplan.config blk.Cplan.array in
+            Dense.join_scores ~rows:wl.Config.block_elems.(0)
+              ~cols:wl.Config.block_elems.(1) ~l ~r ~out:c
+        | Kernel.Opaque _, _, _ -> ()
+        | k, _, ops ->
+            failwith
+              (Printf.sprintf "engine: kernel %s of %s got %d operands" (Kernel.name k)
+                 st.Cplan.stmt (List.length ops))
+      end;
+      (* 5. Writes: through to disk or memory-only. *)
+      (match write_buf with
+      | None -> ()
+      | Some (_, blk, dst, _, bs) ->
+          Buffer_pool.mark_dirty pool (key_of blk);
+          (match dst with
+          | Cplan.To_disk -> Buffer_pool.write_through pool bs blk.Cplan.index
+          | Cplan.Elided -> ()));
+      (* 6. Close pins ending here; a dirty unpinned buffer is dead (its
+         write was elided and every consumer has been served). *)
+      List.iter
+        (fun blk ->
+          let k = key_of blk in
+          Buffer_pool.unpin pool k;
+          Buffer_pool.drop_if_dead pool k)
+        pin_stop.(i);
+      (* An elided write with no pin at all is dead immediately. *)
+      (match write_buf with
+      | Some (_, blk, Cplan.Elided, _, _) -> Buffer_pool.drop_if_dead pool (key_of blk)
+      | _ -> ());
+      (* Residency follows the plan exactly: unpinned blocks touched by this
+         step are released now (write-through already persisted them), so
+         physical I/O matches the costed plan rather than depending on
+         opportunistic caching. *)
+      let release blk =
+        let k = key_of blk in
+        if Buffer_pool.pin_count pool k = 0 then begin
+          Buffer_pool.drop_if_dead pool k;
+          Buffer_pool.drop pool k
+        end
+      in
+      List.iter (fun (_, blk, _) -> release blk) st.Cplan.reads;
+      List.iter (fun (_, blk, _) -> release blk) st.Cplan.writes)
+    plan.Cplan.steps;
+  backend.Backend.sync ();
+  let stats = backend.Backend.stats in
+  { wall_seconds = Unix.gettimeofday () -. t0;
+    virtual_io_seconds = stats.Io_stats.virtual_time -. vt0;
+    reads = stats.Io_stats.reads - r0;
+    writes = stats.Io_stats.writes - w0;
+    bytes_read = stats.Io_stats.bytes_read - br0;
+    bytes_written = stats.Io_stats.bytes_written - bw0;
+    pool_peak_bytes = Buffer_pool.peak_bytes pool }

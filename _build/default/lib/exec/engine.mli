@@ -1,0 +1,69 @@
+(** The execution engine: interpret a concrete plan against the storage
+    engine.
+
+    This plays the role of the paper's generated C code plus the injected
+    I/O and buffer-management actions: the plan's lexicographic instance
+    order is followed exactly; memory-serviced reads are satisfied from
+    pinned pool buffers; writes go through the pool (write-through for
+    materialised writes, memory-only for elided ones); pin intervals open
+    and close at the plan's step boundaries. *)
+
+type result = {
+  wall_seconds : float;
+  virtual_io_seconds : float;  (** simulated backend's clock *)
+  reads : int;
+  writes : int;
+  bytes_read : int;
+  bytes_written : int;
+  pool_peak_bytes : int;
+}
+
+val run :
+  ?compute:bool ->
+  ?stores:(string * Riot_storage.Block_store.t) list ->
+  Riot_plan.Cplan.t ->
+  backend:Riot_storage.Backend.t ->
+  format:Riot_storage.Block_store.format ->
+  mem_cap:int ->
+  result
+(** Execute the plan.  [compute] (default true) runs the kernels (requires a
+    data-retaining backend); with [compute = false] the pool runs in phantom
+    mode and only I/O and memory are exercised - full-scale simulation.
+
+    @raise Riot_storage.Buffer_pool.Insufficient_memory if [mem_cap] is
+    below the plan's requirement.
+    Pass [stores] when the arrays were loaded through existing store handles
+    (the LAB-tree keeps its meta page cached, so every writer/reader must
+    share one handle per array).
+
+    Buffer residency follows the plan exactly: blocks not pinned by a
+    realized sharing opportunity are dropped when their step ends, so
+    physical I/O equals the plan's prediction - the property Figure 3(b) of
+    the paper demonstrates.  (A conventional opportunistic LRU pool would do
+    fewer reads on some plans; RIOTShare's engine executes what the
+    optimizer costed.)
+
+    @raise Failure if a memory-serviced read finds its block missing
+    (would indicate an optimizer bug). *)
+
+val run_opportunistic :
+  Riot_plan.Cplan.t ->
+  backend:Riot_storage.Backend.t ->
+  format:Riot_storage.Block_store.format ->
+  mem_cap:int ->
+  result
+(** Ablation baseline: execute the plan's instance order but ignore its
+    sharing annotations entirely - every read goes through a plain LRU
+    buffer pool of [mem_cap] bytes, every write is written through, nothing
+    is pinned.  This is the database buffer-pool approach the paper's
+    related-work section contrasts with: low-level, opportunistic, and
+    sensitive to the replacement policy, capturing only reuses whose
+    distance fits the pool.  Runs in phantom mode (no computation). *)
+
+val stores_for :
+  Riot_storage.Backend.t ->
+  format:Riot_storage.Block_store.format ->
+  config:Riot_ir.Config.t ->
+  (string * Riot_storage.Block_store.t) list
+(** One store per configured array (exposed for data loading in tests,
+    examples and benchmarks). *)

@@ -1,0 +1,1 @@
+lib/frontend/parse.ml: Lexer List Printf Riot_ir

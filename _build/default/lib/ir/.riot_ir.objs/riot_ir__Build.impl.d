@@ -1,0 +1,1 @@
+lib/ir/build.ml: Access Array Hashtbl Kernel List Program Riot_poly Stdlib Stmt

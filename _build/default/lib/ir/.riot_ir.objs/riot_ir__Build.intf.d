@@ -1,0 +1,1 @@
+lib/ir/build.mli: Access Array_info Kernel Program

@@ -1,0 +1,1 @@
+lib/ir/config.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/ir/config.mli: Format

@@ -1,0 +1,1 @@
+lib/ir/program.ml: Access Array Array_info Format List Printf Riot_poly Sched Stmt

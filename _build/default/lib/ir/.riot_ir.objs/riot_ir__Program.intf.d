@@ -1,0 +1,1 @@
+lib/ir/program.mli: Access Array_info Format Riot_poly Sched Stmt

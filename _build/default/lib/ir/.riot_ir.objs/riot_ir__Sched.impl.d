@@ -1,0 +1,1 @@
+lib/ir/sched.ml: Array Format List Riot_poly

@@ -1,0 +1,1 @@
+lib/ir/sched.mli: Format Riot_poly

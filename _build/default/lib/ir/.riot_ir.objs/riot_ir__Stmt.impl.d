@@ -1,0 +1,1 @@
+lib/ir/stmt.ml: Access Array Format Kernel List Printf Riot_poly

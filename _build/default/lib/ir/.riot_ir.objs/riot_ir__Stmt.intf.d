@@ -1,0 +1,1 @@
+lib/ir/stmt.mli: Access Format Kernel Riot_poly

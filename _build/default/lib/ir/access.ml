@@ -1,0 +1,30 @@
+module Aff = Riot_poly.Aff
+
+type typ = Read | Write
+
+type t = {
+  typ : typ;
+  array : string;
+  map : Aff.t array;
+  restrict_to : Riot_poly.Poly.t option;
+}
+
+let read ?restrict_to array map = { typ = Read; array; map; restrict_to }
+let write ?restrict_to array map = { typ = Write; array; map; restrict_to }
+let is_read t = t.typ = Read
+let is_write t = t.typ = Write
+let block_of t lookup = Array.map (fun a -> Aff.eval a lookup) t.map
+
+let same_map a b =
+  a.array = b.array
+  && Array.length a.map = Array.length b.map
+  && Array.for_all2 Aff.equal a.map b.map
+
+let pp ppf t =
+  Format.fprintf ppf "%s %s[%a]"
+    (match t.typ with Read -> "R" | Write -> "W")
+    t.array
+    (Format.pp_print_array
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Aff.pp)
+    t.map

@@ -1,0 +1,30 @@
+(** Array block accesses: the tuple <s, t, A, Phi> of the paper.
+
+    [map] has one affine function per array dimension, mapping the extended
+    iteration vector of the statement (its space: qualified loop variables
+    plus parameters) to a block subscript.  [restrict], when present, narrows
+    the instances at which the access happens (a static [if] conditional),
+    e.g. the read half of a read-modify-write accumulation that skips its
+    first iteration. *)
+
+type typ = Read | Write
+
+type t = {
+  typ : typ;
+  array : string;
+  map : Riot_poly.Aff.t array;
+  restrict_to : Riot_poly.Poly.t option;
+}
+
+val read : ?restrict_to:Riot_poly.Poly.t -> string -> Riot_poly.Aff.t array -> t
+val write : ?restrict_to:Riot_poly.Poly.t -> string -> Riot_poly.Aff.t array -> t
+val is_read : t -> bool
+val is_write : t -> bool
+
+val block_of : t -> (string -> int) -> int array
+(** Evaluate the access map at a concrete instance: the block subscript. *)
+
+val same_map : t -> t -> bool
+(** Same array and same affine map (ignoring type and restriction). *)
+
+val pp : Format.formatter -> t -> unit

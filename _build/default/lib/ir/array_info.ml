@@ -1,0 +1,13 @@
+type kind = Input | Intermediate | Output
+type t = { name : string; ndims : int; kind : kind }
+
+let make ?(kind = Intermediate) name ~ndims = { name; ndims; kind }
+let is_intermediate t = t.kind = Intermediate
+
+let pp ppf t =
+  let k = match t.kind with
+    | Input -> "input"
+    | Intermediate -> "intermediate"
+    | Output -> "output"
+  in
+  Format.fprintf ppf "%s[%dd,%s]" t.name t.ndims k

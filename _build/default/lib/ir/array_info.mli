@@ -1,0 +1,21 @@
+(** Logical arrays, accessed in units of blocks.
+
+    Following the paper, the unit of I/O is a logical array block; a point in
+    the array's subscript space denotes a block, not an element.  The block
+    grid and element shapes are configuration data (see {!Config}), so the
+    same program template can be costed under different size parameters. *)
+
+type kind =
+  | Input  (** exists on disk before the program runs *)
+  | Intermediate
+      (** produced and consumed by the program; its writes may be elided when
+          every subsequent read is serviced from memory *)
+  | Output  (** must be materialised on disk *)
+
+type t = { name : string; ndims : int; kind : kind }
+
+val make : ?kind:kind -> string -> ndims:int -> t
+(** [kind] defaults to [Intermediate]. *)
+
+val is_intermediate : t -> bool
+val pp : Format.formatter -> t -> unit

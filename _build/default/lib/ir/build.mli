@@ -1,0 +1,46 @@
+(** Loop-nest builder: elaborate a nested C-like loop description into a
+    {!Program}, computing qualified spaces, iteration domains and the
+    original 2d+1-style schedule (interleaved textual-position constants and
+    loop variables, as in classical polyhedral encodings). *)
+
+type aexp
+(** Affine expression over unqualified loop variables and parameters. *)
+
+val e : ?c:int -> (string * int) list -> aexp
+val var : string -> aexp
+val cst : int -> aexp
+val ( + ) : aexp -> aexp -> aexp
+val ( - ) : aexp -> aexp -> aexp
+
+val aexp_vars : aexp -> string list
+(** Variables with a (syntactically) non-zero coefficient. *)
+
+type item
+
+val for_ : string -> lo:aexp -> hi:aexp -> item list -> item
+(** [for_ v ~lo ~hi body] iterates [lo <= v < hi]. *)
+
+val stmt :
+  string ->
+  kernel:Kernel.t ->
+  accs:(Access.typ * string * aexp list * aexp list) list ->
+  item
+(** [stmt name ~kernel ~accs] where each access is
+    [(typ, array, subscripts, conditions)]: the access happens only at
+    instances where every condition expression is [>= 0]. *)
+
+val read : string -> aexp list -> Access.typ * string * aexp list * aexp list
+val read_if : aexp list -> string -> aexp list -> Access.typ * string * aexp list * aexp list
+val write : string -> aexp list -> Access.typ * string * aexp list * aexp list
+
+val program :
+  name:string ->
+  params:string list ->
+  ?context:aexp list ->
+  arrays:Array_info.t list ->
+  item list ->
+  Program.t
+(** Elaborate. [context] expressions (over parameters) are required [>= 0];
+    by default every parameter is [>= 1].
+    @raise Invalid_argument on malformed input (unknown variables, duplicate
+    statement names, ...). *)

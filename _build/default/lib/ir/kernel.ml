@@ -1,0 +1,31 @@
+type t =
+  | Assign_add
+  | Assign_sub
+  | Gemm_acc of { ta : bool; tb : bool }
+  | Invert
+  | Rss_acc
+  | Copy
+  | Filter
+  | Foreach
+  | Join_nl
+  | Opaque of string
+
+let is_accumulating = function
+  | Gemm_acc _ | Rss_acc -> true
+  | Assign_add | Assign_sub | Invert | Copy | Filter | Foreach | Join_nl | Opaque _ ->
+      false
+
+let name = function
+  | Assign_add -> "add"
+  | Assign_sub -> "sub"
+  | Gemm_acc { ta; tb } ->
+      Printf.sprintf "gemm%s%s" (if ta then "_ta" else "") (if tb then "_tb" else "")
+  | Invert -> "invert"
+  | Rss_acc -> "rss"
+  | Copy -> "copy"
+  | Filter -> "filter"
+  | Foreach -> "foreach"
+  | Join_nl -> "join"
+  | Opaque s -> "opaque:" ^ s
+
+let pp ppf t = Format.pp_print_string ppf (name t)

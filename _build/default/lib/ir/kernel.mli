@@ -1,0 +1,30 @@
+(** Computation tags attached to statements.
+
+    The optimizer only needs the I/O pattern; kernels matter to the execution
+    engine (which blocks to combine how) and to the CPU cost model.  Operand
+    blocks are the statement's read accesses whose map differs from the write
+    access, in declaration order. *)
+
+type t =
+  | Assign_add  (** W = R1 + R2, element-wise *)
+  | Assign_sub  (** W = R1 - R2, element-wise *)
+  | Gemm_acc of { ta : bool; tb : bool }
+      (** W += op(R1) * op(R2); the written block is zero-initialised at the
+          first accumulating instance that touches it. [ta]/[tb] transpose
+          the operands (BLAS-style flags). *)
+  | Invert  (** W = R1^-1 (single-block Gauss-Jordan) *)
+  | Rss_acc  (** W += column-wise residual sums of squares of R1 *)
+  | Copy  (** W = R1 *)
+  | Filter
+      (** Pig-style FILTER over a blocked table: keep elements satisfying the
+          predicate (positive values), zero-pad the rest *)
+  | Foreach  (** Pig-style FOREACH: per-element transform (2x + 1) *)
+  | Join_nl
+      (** block nested-loop join: W[i,j] combines the i-th block of the outer
+          table with the j-th block of the inner table (outer-product match
+          scores) *)
+  | Opaque of string  (** I/O pattern only; no computation *)
+
+val is_accumulating : t -> bool
+val name : t -> string
+val pp : Format.formatter -> t -> unit

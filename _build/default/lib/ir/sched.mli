@@ -1,0 +1,25 @@
+(** Multidimensional affine schedules.
+
+    A statement schedule is an array of affine rows over the statement's
+    space; evaluating the rows at an instance yields its multidimensional
+    execution time, ordered lexicographically.  Time vectors of different
+    lengths compare with implicit zero padding. *)
+
+type t = Riot_poly.Aff.t array
+
+type program_sched = (string * t) list
+(** One schedule per statement, keyed by statement name. *)
+
+val time_of : t -> (string -> int) -> int array
+
+val lex_compare : int array -> int array -> int
+(** Lexicographic comparison with zero padding of the shorter vector. *)
+
+val lex_lt : int array -> int array -> bool
+
+val rows : t -> int
+
+val find : program_sched -> string -> t
+(** @raise Not_found for an unknown statement. *)
+
+val pp : Format.formatter -> t -> unit

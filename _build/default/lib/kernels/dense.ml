@@ -1,0 +1,112 @@
+let gemm ~accumulate ~ta ~tb ~m ~n ~k ~a ~b ~c =
+  if not accumulate then Array.fill c 0 (m * n) 0.;
+  (* a: m x k (or k x m when ta); b: k x n (or n x k when tb). *)
+  let ai i l = if ta then (l * m) + i else (i * k) + l in
+  let bi l j = if tb then (j * k) + l else (l * n) + j in
+  for i = 0 to m - 1 do
+    for l = 0 to k - 1 do
+      let av = a.(ai i l) in
+      if av <> 0. then begin
+        let crow = i * n and brow_f = bi l in
+        for j = 0 to n - 1 do
+          c.(crow + j) <- c.(crow + j) +. (av *. b.(brow_f j))
+        done
+      end
+    done
+  done
+
+let add a b c =
+  for i = 0 to Array.length c - 1 do
+    c.(i) <- a.(i) +. b.(i)
+  done
+
+let sub a b c =
+  for i = 0 to Array.length c - 1 do
+    c.(i) <- a.(i) -. b.(i)
+  done
+
+let copy ~src ~dst = Array.blit src 0 dst 0 (Array.length dst)
+
+let scale s a =
+  for i = 0 to Array.length a - 1 do
+    a.(i) <- s *. a.(i)
+  done
+
+let fill a v = Array.fill a 0 (Array.length a) v
+
+let invert ~n src dst =
+  (* Gauss-Jordan on [src | I], with partial pivoting. *)
+  let a = Array.copy src in
+  for i = 0 to (n * n) - 1 do
+    dst.(i) <- 0.
+  done;
+  for i = 0 to n - 1 do
+    dst.((i * n) + i) <- 1.
+  done;
+  for col = 0 to n - 1 do
+    (* Pivot. *)
+    let piv = ref col in
+    for r = col + 1 to n - 1 do
+      if abs_float a.((r * n) + col) > abs_float a.((!piv * n) + col) then piv := r
+    done;
+    if abs_float a.((!piv * n) + col) < 1e-12 then failwith "Dense.invert: singular matrix";
+    if !piv <> col then begin
+      for j = 0 to n - 1 do
+        let t = a.((col * n) + j) in
+        a.((col * n) + j) <- a.((!piv * n) + j);
+        a.((!piv * n) + j) <- t;
+        let t = dst.((col * n) + j) in
+        dst.((col * n) + j) <- dst.((!piv * n) + j);
+        dst.((!piv * n) + j) <- t
+      done
+    end;
+    let d = a.((col * n) + col) in
+    for j = 0 to n - 1 do
+      a.((col * n) + j) <- a.((col * n) + j) /. d;
+      dst.((col * n) + j) <- dst.((col * n) + j) /. d
+    done;
+    for r = 0 to n - 1 do
+      if r <> col then begin
+        let f = a.((r * n) + col) in
+        if f <> 0. then
+          for j = 0 to n - 1 do
+            a.((r * n) + j) <- a.((r * n) + j) -. (f *. a.((col * n) + j));
+            dst.((r * n) + j) <- dst.((r * n) + j) -. (f *. dst.((col * n) + j))
+          done
+      end
+    done
+  done
+
+let rss_acc ~rows ~cols ~e ~acc =
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      let v = e.((i * cols) + j) in
+      acc.(j) <- acc.(j) +. (v *. v)
+    done
+  done
+
+let filter_pos ~src ~dst =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- (if src.(i) > 0. then src.(i) else 0.)
+  done
+
+let foreach_affine ~src ~dst =
+  for i = 0 to Array.length dst - 1 do
+    dst.(i) <- (2. *. src.(i)) +. 1.
+  done
+
+let join_scores ~rows ~cols ~l ~r ~out =
+  for i = 0 to rows - 1 do
+    for j = 0 to cols - 1 do
+      out.((i * cols) + j) <- l.(i) *. r.(j)
+    done
+  done
+
+let max_abs_diff a b =
+  let m = ref 0. in
+  Array.iteri
+    (fun i v ->
+      let d = abs_float (v -. b.(i)) in
+      if d > !m then m := d)
+    a;
+  !m

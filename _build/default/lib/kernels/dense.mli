@@ -1,0 +1,52 @@
+(** In-core dense kernels on row-major [float array] blocks.
+
+    This is the execution engine's substitute for GotoBLAS2: functionally
+    complete (gemm with transposition, element-wise ops, Gauss-Jordan
+    inversion, residual sums of squares), tuned only enough for the
+    reduced-scale correctness runs.  The cost model accounts for full-scale
+    CPU time separately ({!Riot_plan.Machine}). *)
+
+val gemm :
+  accumulate:bool ->
+  ta:bool ->
+  tb:bool ->
+  m:int ->
+  n:int ->
+  k:int ->
+  a:float array ->
+  b:float array ->
+  c:float array ->
+  unit
+(** [c (m x n) += op(a) * op(b)] with [op] transposing when the flag is set;
+    [a] is [m x k] ([k x m] when [ta]), [b] is [k x n] ([n x k] when [tb]).
+    With [accumulate = false] [c] is overwritten. *)
+
+val add : float array -> float array -> float array -> unit
+(** [c.(i) = a.(i) + b.(i)]. *)
+
+val sub : float array -> float array -> float array -> unit
+val copy : src:float array -> dst:float array -> unit
+val scale : float -> float array -> unit
+val fill : float array -> float -> unit
+
+val invert : n:int -> float array -> float array -> unit
+(** [dst = src^-1] for an [n x n] row-major matrix, by Gauss-Jordan with
+    partial pivoting. @raise Failure on a singular matrix. *)
+
+val rss_acc : rows:int -> cols:int -> e:float array -> acc:float array -> unit
+(** [acc.(j) += sum_i e.(i,j)^2]: column-wise residual sums of squares,
+    accumulated into the first [cols] entries of [acc]. *)
+
+val filter_pos : src:float array -> dst:float array -> unit
+(** Pig FILTER: [dst.(i) = if src.(i) > 0. then src.(i) else 0.]. *)
+
+val foreach_affine : src:float array -> dst:float array -> unit
+(** Pig FOREACH: [dst.(i) = 2 * src.(i) + 1]. *)
+
+val join_scores :
+  rows:int -> cols:int -> l:float array -> r:float array -> out:float array -> unit
+(** Block nested-loop join: [out.(i,j) = l.(i) * r.(j)] over the first
+    [rows] elements of [l] and [cols] of [r] (outer-product match scores). *)
+
+val max_abs_diff : float array -> float array -> float
+(** Infinity-norm distance (test helper). *)

@@ -1,0 +1,86 @@
+module Q = Riot_base.Q
+
+type t = Vec.t array
+
+let of_int_rows rows = Array.of_list (List.map Vec.of_ints rows)
+let num_rows m = Array.length m
+let num_cols m = if num_rows m = 0 then 0 else Vec.dim m.(0)
+
+(* Reduced row-echelon form together with the pivot column of each surviving
+   row. Works on a copy. *)
+let echelon_pivots m =
+  let m = Array.map Array.copy m in
+  let rows = num_rows m and cols = num_cols m in
+  let pivots = ref [] in
+  let r = ref 0 in
+  for c = 0 to cols - 1 do
+    if !r < rows then begin
+      (* Find a pivot in column [c] at or below row [!r]. *)
+      let piv = ref (-1) in
+      for i = !r to rows - 1 do
+        if !piv < 0 && not (Q.is_zero m.(i).(c)) then piv := i
+      done;
+      if !piv >= 0 then begin
+        let tmp = m.(!r) in
+        m.(!r) <- m.(!piv);
+        m.(!piv) <- tmp;
+        let inv = Q.inv m.(!r).(c) in
+        m.(!r) <- Vec.scale inv m.(!r);
+        for i = 0 to rows - 1 do
+          if i <> !r && not (Q.is_zero m.(i).(c)) then
+            m.(i) <- Vec.sub m.(i) (Vec.scale m.(i).(c) m.(!r))
+        done;
+        pivots := (!r, c) :: !pivots;
+        incr r
+      end
+    end
+  done;
+  let kept = Array.sub m 0 !r in
+  (kept, List.rev !pivots)
+
+let row_echelon m = fst (echelon_pivots m)
+let rank m = num_rows (row_echelon m)
+
+let null_space m =
+  let cols = num_cols m in
+  let ech, pivots = echelon_pivots m in
+  let pivot_cols = List.map snd pivots in
+  let is_pivot c = List.mem c pivot_cols in
+  let free_cols = List.filter (fun c -> not (is_pivot c)) (List.init cols Fun.id) in
+  let basis_for free =
+    let v = Vec.zero cols in
+    v.(free) <- Q.one;
+    List.iteri
+      (fun i (_, pc) -> v.(pc) <- Q.neg ech.(i).(free))
+      pivots;
+    Vec.normalize v
+  in
+  List.map basis_for free_cols
+
+let row_space_basis m = Array.to_list (row_echelon m)
+
+let in_row_space m v =
+  let augmented = Array.append m [| v |] in
+  rank augmented = rank m
+
+let mul_vec m v = Array.map (fun row -> Vec.dot row v) m
+
+let solve m b =
+  (* Solve by eliminating on [A|b]. *)
+  let rows = num_rows m and cols = num_cols m in
+  let aug =
+    Array.init rows (fun i -> Array.append (Array.copy m.(i)) [| b.(i) |])
+  in
+  let ech, pivots = echelon_pivots aug in
+  (* Inconsistent iff some pivot lands in the augmented column. *)
+  if List.exists (fun (_, c) -> c = cols) pivots then None
+  else begin
+    let x = Vec.zero cols in
+    List.iteri (fun i (_, pc) -> x.(pc) <- ech.(i).(cols)) pivots;
+    Some x
+  end
+
+let pp ppf m =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_array ~pp_sep:Format.pp_print_cut Vec.pp)
+    m

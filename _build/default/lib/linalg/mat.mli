@@ -1,0 +1,31 @@
+(** Exact rational matrices as lists of row vectors, with the Gaussian
+    elimination operations the schedule search needs. *)
+
+type t = Vec.t array
+(** Rows. All rows must share one dimension. *)
+
+val of_int_rows : int list list -> t
+val num_rows : t -> int
+val num_cols : t -> int
+
+val rank : t -> int
+
+val row_echelon : t -> t
+(** Reduced row-echelon form; zero rows dropped. *)
+
+val null_space : t -> Vec.t list
+(** A basis of [{ x | A x = 0 }] — equivalently, of the orthogonal complement
+    of the row space. Basis vectors are integer-normalised. *)
+
+val row_space_basis : t -> Vec.t list
+(** A basis of the span of the rows (the non-zero rows of the echelon form). *)
+
+val in_row_space : t -> Vec.t -> bool
+(** Does the vector lie in the span of the rows? *)
+
+val mul_vec : t -> Vec.t -> Vec.t
+
+val solve : t -> Vec.t -> Vec.t option
+(** [solve a b] is some [x] with [A x = b], if one exists. *)
+
+val pp : Format.formatter -> t -> unit

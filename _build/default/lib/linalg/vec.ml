@@ -1,0 +1,36 @@
+module Q = Riot_base.Q
+module C = Riot_base.Checked
+
+type t = Q.t array
+
+let zero n = Array.make n Q.zero
+let dim = Array.length
+let of_ints l = Array.of_list (List.map Q.of_int l)
+let add a b = Array.map2 Q.add a b
+let sub a b = Array.map2 Q.sub a b
+let scale q a = Array.map (Q.mul q) a
+
+let dot a b =
+  let acc = ref Q.zero in
+  Array.iter2 (fun x y -> acc := Q.add !acc (Q.mul x y)) a b;
+  !acc
+
+let is_zero a = Array.for_all Q.is_zero a
+let equal a b = dim a = dim b && Array.for_all2 Q.equal a b
+
+let normalize a =
+  (* Clear denominators, divide by the gcd of numerators, fix the sign of the
+     leading non-zero entry. *)
+  if is_zero a then a
+  else
+    let l = Array.fold_left (fun acc q -> C.lcm acc (Q.den q)) 1 a in
+    let ints = Array.map (fun q -> C.mul (Q.num q) (l / Q.den q)) a in
+    let g = Array.fold_left (fun acc v -> C.gcd acc v) 0 ints in
+    let lead = Array.to_seq ints |> Seq.find (fun v -> v <> 0) in
+    let s = match lead with Some v when v < 0 -> -1 | _ -> 1 in
+    Array.map (fun v -> Q.of_int (s * (v / g))) ints
+
+let pp ppf a =
+  Format.fprintf ppf "[@[%a@]]"
+    (Format.pp_print_array ~pp_sep:(fun ppf () -> Format.fprintf ppf ";@ ") Q.pp)
+    a

@@ -1,0 +1,19 @@
+(** Dense vectors of exact rationals. *)
+
+type t = Riot_base.Q.t array
+
+val zero : int -> t
+val dim : t -> int
+val of_ints : int list -> t
+val add : t -> t -> t
+val sub : t -> t -> t
+val scale : Riot_base.Q.t -> t -> t
+val dot : t -> t -> Riot_base.Q.t
+val is_zero : t -> bool
+val equal : t -> t -> bool
+
+val normalize : t -> t
+(** Scale so that the first non-zero entry is positive and entries are
+    coprime integers (useful for canonical basis vectors). *)
+
+val pp : Format.formatter -> t -> unit

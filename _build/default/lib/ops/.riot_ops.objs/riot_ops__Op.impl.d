@@ -1,0 +1,1 @@
+lib/ops/op.ml: List Printf Riot_ir

@@ -1,0 +1,1 @@
+lib/ops/op.mli: Riot_ir

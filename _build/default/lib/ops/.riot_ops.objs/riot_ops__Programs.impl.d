@@ -1,0 +1,1 @@
+lib/ops/programs.ml: Array List Op Riot_ir

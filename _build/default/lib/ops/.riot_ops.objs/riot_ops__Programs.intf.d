@@ -1,0 +1,1 @@
+lib/ops/programs.mli: Riot_ir

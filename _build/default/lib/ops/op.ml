@@ -1,0 +1,124 @@
+module B = Riot_ir.Build
+module Array_info = Riot_ir.Array_info
+module Access = Riot_ir.Access
+module Kernel = Riot_ir.Kernel
+
+type dim = P of string | N of int
+
+type ctx = {
+  name : string;
+  mutable arrays : Array_info.t list;
+  mutable params : string list;
+  mutable items : B.item list;
+  mutable stmt_count : int;
+}
+
+let create ~name = { name; arrays = []; params = []; items = []; stmt_count = 0 }
+
+let declare ctx ?(kind = Array_info.Intermediate) name ~ndims =
+  if List.exists (fun (a : Array_info.t) -> a.Array_info.name = name) ctx.arrays then
+    invalid_arg ("Op.declare: duplicate array " ^ name);
+  ctx.arrays <- ctx.arrays @ [ Array_info.make ~kind name ~ndims ]
+
+let bound ctx = function
+  | P p ->
+      if not (List.mem p ctx.params) then ctx.params <- ctx.params @ [ p ];
+      B.var p
+  | N n -> B.cst n
+
+let fresh_stmt ctx =
+  ctx.stmt_count <- ctx.stmt_count + 1;
+  Printf.sprintf "s%d" ctx.stmt_count
+
+let push ctx item = ctx.items <- ctx.items @ [ item ]
+
+let elementwise ctx ~kernel ~c ~a ~b ~rows ~cols =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" and j = B.var "j" in
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx rows)
+       [ B.for_ "j" ~lo:(B.cst 0) ~hi:(bound ctx cols)
+           [ B.stmt s ~kernel
+               ~accs:[ B.write c [ i; j ]; B.read a [ i; j ]; B.read b [ i; j ] ] ] ])
+
+let add ctx ~c ~a ~b ~rows ~cols =
+  elementwise ctx ~kernel:Kernel.Assign_add ~c ~a ~b ~rows ~cols
+
+let sub ctx ~c ~a ~b ~rows ~cols =
+  elementwise ctx ~kernel:Kernel.Assign_sub ~c ~a ~b ~rows ~cols
+
+let matmul ?(ta = false) ?(tb = false) ctx ~c ~a ~b ~m ~n ~k =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" and j = B.var "j" and kk = B.var "k" in
+  let a_sub = if ta then [ kk; i ] else [ i; kk ] in
+  let b_sub = if tb then [ j; kk ] else [ kk; j ] in
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx m)
+       [ B.for_ "j" ~lo:(B.cst 0) ~hi:(bound ctx n)
+           [ B.for_ "k" ~lo:(B.cst 0) ~hi:(bound ctx k)
+               [ B.stmt s
+                   ~kernel:(Kernel.Gemm_acc { ta; tb })
+                   ~accs:
+                     [ B.write c [ i; j ];
+                       B.read_if [ B.(kk - cst 1) ] c [ i; j ];
+                       B.read a a_sub;
+                       B.read b b_sub ] ] ] ])
+
+let invert ctx ~c ~a =
+  let s = fresh_stmt ctx in
+  push ctx
+    (B.stmt s ~kernel:Kernel.Invert
+       ~accs:[ B.write c [ B.cst 0; B.cst 0 ]; B.read a [ B.cst 0; B.cst 0 ] ])
+
+let rss ctx ~c ~a ~rows ~cols =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" and j = B.var "j" in
+  (* Accumulates into a single output block; reads it back except at the very
+     first instance. *)
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx rows)
+       [ B.for_ "j" ~lo:(B.cst 0) ~hi:(bound ctx cols)
+           [ B.stmt s ~kernel:Kernel.Rss_acc
+               ~accs:
+                 [ B.write c [ B.cst 0; B.cst 0 ];
+                   B.read_if [ B.(var "i" + var "j" - cst 1) ] c [ B.cst 0; B.cst 0 ];
+                   B.read a [ i; j ] ] ] ])
+
+let copy ctx ~c ~a ~rows ~cols =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" and j = B.var "j" in
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx rows)
+       [ B.for_ "j" ~lo:(B.cst 0) ~hi:(bound ctx cols)
+           [ B.stmt s ~kernel:Kernel.Copy ~accs:[ B.write c [ i; j ]; B.read a [ i; j ] ] ] ])
+
+let filter ctx ~c ~a ~rows =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" in
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx rows)
+       [ B.stmt s ~kernel:Kernel.Filter
+           ~accs:[ B.write c [ i; B.cst 0 ]; B.read a [ i; B.cst 0 ] ] ])
+
+let foreach ctx ~c ~a ~rows =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" in
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx rows)
+       [ B.stmt s ~kernel:Kernel.Foreach
+           ~accs:[ B.write c [ i; B.cst 0 ]; B.read a [ i; B.cst 0 ] ] ])
+
+let join ctx ~c ~outer ~inner ~m ~n =
+  let s = fresh_stmt ctx in
+  let i = B.var "i" and j = B.var "j" in
+  push ctx
+    (B.for_ "i" ~lo:(B.cst 0) ~hi:(bound ctx m)
+       [ B.for_ "j" ~lo:(B.cst 0) ~hi:(bound ctx n)
+           [ B.stmt s ~kernel:Kernel.Join_nl
+               ~accs:
+                 [ B.write c [ i; j ];
+                   B.read outer [ i; B.cst 0 ];
+                   B.read inner [ j; B.cst 0 ] ] ] ])
+
+let finish ctx =
+  B.program ~name:ctx.name ~params:ctx.params ~arrays:ctx.arrays ctx.items

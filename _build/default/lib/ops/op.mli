@@ -1,0 +1,66 @@
+(** High-level operator library.
+
+    Programs are assembled operator by operator; each operator contributes a
+    loop nest over block indices whose polyhedral representation is known
+    (the paper's "library of high-level operators").  Loop bounds are either
+    parameters or literal block counts.  Following BLAS (and the paper's
+    linear-regression setup), transposition is a flag on multiplication, not
+    a separate operator. *)
+
+type ctx
+
+type dim = P of string  (** parameter name *) | N of int  (** literal count *)
+
+val create : name:string -> ctx
+
+val declare :
+  ctx -> ?kind:Riot_ir.Array_info.kind -> string -> ndims:int -> unit
+(** Declare an array; redeclaration is an error. *)
+
+val add : ctx -> c:string -> a:string -> b:string -> rows:dim -> cols:dim -> unit
+(** C = A + B, block-wise, over a [rows x cols] block grid. *)
+
+val sub : ctx -> c:string -> a:string -> b:string -> rows:dim -> cols:dim -> unit
+(** C = A - B. *)
+
+val matmul :
+  ?ta:bool ->
+  ?tb:bool ->
+  ctx ->
+  c:string ->
+  a:string ->
+  b:string ->
+  m:dim ->
+  n:dim ->
+  k:dim ->
+  unit
+(** C[i,j] += op(A) * op(B) over i<m, j<n with reduction depth k; [ta]/[tb]
+    transpose the operand block indexing. *)
+
+val invert : ctx -> c:string -> a:string -> unit
+(** C = A^-1 for single-block square matrices. *)
+
+val rss : ctx -> c:string -> a:string -> rows:dim -> cols:dim -> unit
+(** C[0,0] += column residual sums of squares of A (accumulated over A's
+    block grid). *)
+
+val copy : ctx -> c:string -> a:string -> rows:dim -> cols:dim -> unit
+
+(** {2 Pig-style relational operators (Section 7's "database- or Pig-style
+    operations")}
+
+    Tables are blocked column vectors: [rows] blocks high, one block wide. *)
+
+val filter : ctx -> c:string -> a:string -> rows:dim -> unit
+(** C = FILTER A BY pred (block-wise selection with zero padding). *)
+
+val foreach : ctx -> c:string -> a:string -> rows:dim -> unit
+(** C = FOREACH A GENERATE f(x) (per-tuple transform). *)
+
+val join : ctx -> c:string -> outer:string -> inner:string -> m:dim -> n:dim -> unit
+(** C = JOIN outer BY ..., inner BY ... as a block nested-loop join: the
+    inner table is re-scanned for every outer block, which is exactly the
+    reuse pattern the I/O-sharing optimizer can exploit. *)
+
+val finish : ctx -> Riot_ir.Program.t
+(** Elaborate the accumulated operators into a validated program. *)

@@ -1,0 +1,168 @@
+module Config = Riot_ir.Config
+module Array_info = Riot_ir.Array_info
+module B = Riot_ir.Build
+
+let add_mul () =
+  let ctx = Op.create ~name:"add_mul" in
+  Op.declare ctx "A" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "B" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "C" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "D" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "E" ~ndims:2 ~kind:Array_info.Output;
+  Op.add ctx ~c:"C" ~a:"A" ~b:"B" ~rows:(Op.P "n1") ~cols:(Op.P "n2");
+  Op.matmul ctx ~c:"E" ~a:"C" ~b:"D" ~m:(Op.P "n1") ~n:(Op.P "n3") ~k:(Op.P "n2");
+  Op.finish ctx
+
+let mk_layouts l =
+  List.map
+    (fun (name, brows, bcols, grows, gcols) ->
+      (name,
+        { Config.grid = [| grows; gcols |];
+          block_elems = [| brows; bcols |];
+          elem_size = 8 }))
+    l
+
+let table2 =
+  Config.make
+    ~params:[ ("n1", 12); ("n2", 12); ("n3", 1) ]
+    ~layouts:
+      (mk_layouts
+         [ ("A", 6000, 4000, 12, 12);
+           ("B", 6000, 4000, 12, 12);
+           ("C", 6000, 4000, 12, 12);
+           ("D", 4000, 5000, 12, 1);
+           ("E", 6000, 5000, 12, 1) ])
+
+let table2_bigblock =
+  Config.make
+    ~params:[ ("n1", 8); ("n2", 12); ("n3", 1) ]
+    ~layouts:
+      (mk_layouts
+         [ ("A", 9000, 4000, 8, 12);
+           ("B", 9000, 4000, 8, 12);
+           ("C", 9000, 4000, 8, 12);
+           ("D", 4000, 5000, 12, 1);
+           ("E", 9000, 5000, 8, 1) ])
+
+let two_matmuls () =
+  let ctx = Op.create ~name:"two_matmuls" in
+  Op.declare ctx "A" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "B" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "C" ~ndims:2 ~kind:Array_info.Output;
+  Op.declare ctx "D" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "E" ~ndims:2 ~kind:Array_info.Output;
+  Op.matmul ctx ~c:"C" ~a:"A" ~b:"B" ~m:(Op.P "n1") ~n:(Op.P "n2") ~k:(Op.P "n3");
+  Op.matmul ctx ~c:"E" ~a:"A" ~b:"D" ~m:(Op.P "n1") ~n:(Op.P "n4") ~k:(Op.P "n3");
+  Op.finish ctx
+
+let table3_config_a =
+  Config.make
+    ~params:[ ("n1", 6); ("n2", 10); ("n3", 6); ("n4", 10) ]
+    ~layouts:
+      (mk_layouts
+         [ ("A", 8000, 7000, 6, 6);
+           ("B", 7000, 3000, 6, 10);
+           ("C", 8000, 3000, 6, 10);
+           ("D", 7000, 3000, 6, 10);
+           ("E", 8000, 3000, 6, 10) ])
+
+let table3_config_b =
+  Config.make
+    ~params:[ ("n1", 18); ("n2", 4); ("n3", 6); ("n4", 4) ]
+    ~layouts:
+      (mk_layouts
+         [ ("A", 2000, 8000, 18, 6);
+           ("B", 8000, 6000, 6, 4);
+           ("C", 2000, 6000, 18, 4);
+           ("D", 8000, 7000, 6, 4);
+           ("E", 2000, 7000, 18, 4) ])
+
+let linear_regression () =
+  let ctx = Op.create ~name:"linear_regression" in
+  Op.declare ctx "X" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "Y" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "U" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "V" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "W" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "Bh" ~ndims:2 ~kind:Array_info.Output;
+  Op.declare ctx "Yh" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "E" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "R" ~ndims:2 ~kind:Array_info.Output;
+  (* U = X'X *)
+  Op.matmul ctx ~ta:true ~c:"U" ~a:"X" ~b:"X" ~m:(Op.N 1) ~n:(Op.N 1) ~k:(Op.P "n");
+  (* V = X'Y *)
+  Op.matmul ctx ~ta:true ~c:"V" ~a:"X" ~b:"Y" ~m:(Op.N 1) ~n:(Op.N 1) ~k:(Op.P "n");
+  (* W = U^-1 *)
+  Op.invert ctx ~c:"W" ~a:"U";
+  (* Bh = W V *)
+  Op.matmul ctx ~c:"Bh" ~a:"W" ~b:"V" ~m:(Op.N 1) ~n:(Op.N 1) ~k:(Op.N 1);
+  (* Yh = X Bh *)
+  Op.matmul ctx ~c:"Yh" ~a:"X" ~b:"Bh" ~m:(Op.P "n") ~n:(Op.N 1) ~k:(Op.N 1);
+  (* E = Y - Yh *)
+  Op.sub ctx ~c:"E" ~a:"Y" ~b:"Yh" ~rows:(Op.P "n") ~cols:(Op.N 1);
+  (* R = RSS(E) *)
+  Op.rss ctx ~c:"R" ~a:"E" ~rows:(Op.P "n") ~cols:(Op.N 1);
+  Op.finish ctx
+
+let table4 =
+  Config.make
+    ~params:[ ("n", 25) ]
+    ~layouts:
+      (mk_layouts
+         [ ("X", 60000, 4000, 25, 1);
+           ("Y", 60000, 400, 25, 1);
+           ("U", 4000, 4000, 1, 1);
+           ("V", 4000, 400, 1, 1);
+           ("W", 4000, 4000, 1, 1);
+           ("Bh", 4000, 400, 1, 1);
+           ("Yh", 60000, 400, 25, 1);
+           ("E", 60000, 400, 25, 1);
+           ("R", 1, 400, 1, 1) ])
+
+let pig_pipeline () =
+  let ctx = Op.create ~name:"pig_pipeline" in
+  Op.declare ctx "T" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "S" ~ndims:2 ~kind:Array_info.Input;
+  Op.declare ctx "F" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "G" ~ndims:2 ~kind:Array_info.Intermediate;
+  Op.declare ctx "J" ~ndims:2 ~kind:Array_info.Output;
+  (* F = FILTER T; G = FOREACH F; J = JOIN G, S *)
+  Op.filter ctx ~c:"F" ~a:"T" ~rows:(Op.P "m");
+  Op.foreach ctx ~c:"G" ~a:"F" ~rows:(Op.P "m");
+  Op.join ctx ~c:"J" ~outer:"G" ~inner:"S" ~m:(Op.P "m") ~n:(Op.P "n");
+  Op.finish ctx
+
+let pig_config =
+  Config.make
+    ~params:[ ("m", 16); ("n", 8) ]
+    ~layouts:
+      (mk_layouts
+         [ ("T", 2000000, 1, 16, 1);
+           ("S", 2000000, 1, 8, 1);
+           ("F", 2000000, 1, 16, 1);
+           ("G", 2000000, 1, 16, 1);
+           ("J", 2000000, 1, 16, 8) ])
+
+let reversed_copy () =
+  let a = Array_info.make "A" ~ndims:1 ~kind:Array_info.Intermediate in
+  let b = Array_info.make "B" ~ndims:1 ~kind:Array_info.Input in
+  let c = Array_info.make "C" ~ndims:1 ~kind:Array_info.Output in
+  B.program ~name:"reversed_copy" ~params:[ "n" ] ~arrays:[ a; b; c ]
+    [ B.for_ "i" ~lo:(B.cst 0) ~hi:(B.var "n")
+        [ B.stmt "s1" ~kernel:Riot_ir.Kernel.Copy
+            ~accs:[ B.write "A" [ B.var "i" ]; B.read "B" [ B.var "i" ] ];
+          B.stmt "s2" ~kernel:Riot_ir.Kernel.Copy
+            ~accs:
+              [ B.write "C" [ B.var "i" ];
+                B.read "A" [ B.(cst (-1) + var "n" - var "i") ] ] ] ]
+
+let scale_down ?(factor = 100) (cfg : Config.t) =
+  { cfg with
+    Config.layouts =
+      List.map
+        (fun (name, (l : Config.layout)) ->
+          (name,
+            { l with
+              Config.block_elems =
+                Array.map (fun d -> max 1 (d / factor)) l.Config.block_elems }))
+        cfg.Config.layouts }

@@ -1,0 +1,47 @@
+(** The paper's benchmark programs (Sections 6.1-6.3) and their size
+    configurations, plus small auxiliary examples.
+
+    Full-scale configurations reproduce Tables 2-4 exactly (double-precision
+    blocks, tens of GB).  [scale_down] shrinks block contents while keeping
+    the block grid, so plans and sharing structure are unchanged but real
+    execution on files is feasible. *)
+
+val add_mul : unit -> Riot_ir.Program.t
+(** Example 1: C = A + B; E = C D.  Parameters n1, n2, n3. *)
+
+val table2 : Riot_ir.Config.t
+(** Section 6.1 sizes: A,B,C 12x12 blocks of 6000x4000; D 12x1 of 4000x5000;
+    E 12x1 of 6000x5000 (n1=12, n2=12, n3=1). *)
+
+val table2_bigblock : Riot_ir.Config.t
+(** The "club suit" variant: rows of A, B, C, E blocks enlarged from 6000 to
+    9000 (grid rows 12 -> 8), memory spent on bigger blocks instead of
+    sharing. *)
+
+val two_matmuls : unit -> Riot_ir.Program.t
+(** Section 6.2: C = A B; E = A D.  Parameters n1..n4. *)
+
+val table3_config_a : Riot_ir.Config.t
+val table3_config_b : Riot_ir.Config.t
+
+val linear_regression : unit -> Riot_ir.Program.t
+(** Section 6.3: U=X'X; V=X'Y; W=U^-1; B=WV; Yh=XB; E=Y-Yh; R=RSS(E).
+    Parameter n (X's block-grid rows). *)
+
+val table4 : Riot_ir.Config.t
+
+val pig_pipeline : unit -> Riot_ir.Program.t
+(** FILTER -> FOREACH -> block nested-loop JOIN over blocked tables (the
+    paper's Section 7 direction: Pig-style operations in the same
+    framework). Parameters m (outer table blocks) and n (inner). *)
+
+val pig_config : Riot_ir.Config.t
+(** 16-block outer table and 8-block inner table of 2M rows per block. *)
+
+val reversed_copy : unit -> Riot_ir.Program.t
+(** The opposite-direction dependence example of Section 4.3:
+    s1: A[i] = B[i]; s2: C[i] = A[n-1-i], in one loop. *)
+
+val scale_down : ?factor:int -> Riot_ir.Config.t -> Riot_ir.Config.t
+(** Divide block element dimensions by [factor] (default 100, minimum
+    resulting dimension 1), keeping grids and parameters. *)

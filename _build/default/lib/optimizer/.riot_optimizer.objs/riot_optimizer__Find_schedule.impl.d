@@ -1,0 +1,1 @@
+lib/optimizer/find_schedule.ml: Array Fun Hashtbl List Logs Option Queue Riot_analysis Riot_base Riot_ir Riot_linalg Riot_poly Sched_space String

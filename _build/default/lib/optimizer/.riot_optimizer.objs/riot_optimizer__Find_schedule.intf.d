@@ -1,0 +1,1 @@
+lib/optimizer/find_schedule.mli: Riot_analysis Riot_ir Sched_space

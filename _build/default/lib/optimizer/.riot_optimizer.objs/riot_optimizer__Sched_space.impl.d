@@ -1,0 +1,1 @@
+lib/optimizer/sched_space.ml: Hashtbl List Printf Riot_analysis Riot_ir Riot_poly String

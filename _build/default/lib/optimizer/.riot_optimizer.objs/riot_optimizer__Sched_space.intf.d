@@ -1,0 +1,1 @@
+lib/optimizer/sched_space.mli: Riot_analysis Riot_ir Riot_poly

@@ -1,0 +1,1 @@
+lib/optimizer/search.ml: Array Find_schedule Fun List Logs Riot_analysis Riot_ir Sched_space String Unix Verify

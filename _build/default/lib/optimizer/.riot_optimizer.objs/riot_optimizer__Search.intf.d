@@ -1,0 +1,1 @@
+lib/optimizer/search.mli: Riot_analysis Riot_ir

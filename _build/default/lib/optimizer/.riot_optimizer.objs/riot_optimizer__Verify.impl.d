@@ -1,0 +1,1 @@
+lib/optimizer/verify.ml: Array Hashtbl List Riot_analysis Riot_ir

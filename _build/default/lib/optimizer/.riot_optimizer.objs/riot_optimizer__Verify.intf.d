@@ -1,0 +1,1 @@
+lib/optimizer/verify.mli: Riot_analysis Riot_ir

@@ -1,0 +1,349 @@
+module Space = Riot_poly.Space
+module Poly = Riot_poly.Poly
+module Aff = Riot_poly.Aff
+module Q = Riot_base.Q
+module Mat = Riot_linalg.Mat
+module Stmt = Riot_ir.Stmt
+module Program = Riot_ir.Program
+module Access = Riot_ir.Access
+module Coaccess = Riot_analysis.Coaccess
+
+let log = Logs.Src.create "riot.optimizer.findsched" ~doc:"FindSchedule"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+(* --- Sampling with connected-component decomposition -------------------- *)
+
+(* The unknown space couples statements only through shared constraints;
+   decomposing into connected components keeps the recursive bound descent
+   tractable. *)
+let sample_decomposed ~range p =
+  let p = Poly.simplify p in
+  if Poly.is_obviously_empty p then None
+  else begin
+    let space = Poly.space p in
+    let n = Space.dim space in
+    let parent = Array.init n Fun.id in
+    let rec find i = if parent.(i) = i then i else (parent.(i) <- find parent.(i); find parent.(i)) in
+    let union i j = let ri = find i and rj = find j in if ri <> rj then parent.(ri) <- rj in
+    let touch (a : Aff.t) =
+      let dims = ref [] in
+      Array.iteri (fun i c -> if c <> 0 then dims := i :: !dims) a.Aff.coeffs;
+      (match !dims with
+      | [] | [ _ ] -> ()
+      | d0 :: rest -> List.iter (union d0) rest)
+    in
+    List.iter touch (Poly.eqs p);
+    List.iter touch (Poly.ges p);
+    let comps = Hashtbl.create 8 in
+    for i = 0 to n - 1 do
+      let r = find i in
+      Hashtbl.replace comps r (i :: Option.value ~default:[] (Hashtbl.find_opt comps r))
+    done;
+    let involves a dims = List.exists (fun i -> a.Aff.coeffs.(i) <> 0) dims in
+    let exception Fail in
+    try
+      let assignment = ref [] in
+      Hashtbl.iter
+        (fun _ dims ->
+          let names = List.map (Space.name space) dims in
+          let sub = Space.of_names names in
+          let keep l = List.filter (fun a -> involves a dims) l in
+          let cast (a : Aff.t) = Aff.cast sub a in
+          let subp =
+            Poly.of_constraints sub
+              ~eqs:(List.map cast (keep (Poly.eqs p)))
+              ~ges:(List.map cast (keep (Poly.ges p)))
+          in
+          (* Constant-only constraints fall outside every component; check
+             them through the full-space membership test at the end. *)
+          match Poly.sample ~range subp with
+          | Some pt -> assignment := pt @ !assignment
+          | None -> raise Fail)
+        comps;
+      (* Dimensions in no constraint at all default to zero. *)
+      let full =
+        List.map
+          (fun nm ->
+            (nm, match List.assoc_opt nm !assignment with Some v -> v | None -> 0))
+          (Space.names space)
+      in
+      if Poly.mem p (fun nm -> List.assoc nm full) then Some full else None
+    with Fail -> None
+  end
+
+let sample_with_retries p =
+  match sample_decomposed ~range:3 p with
+  | Some pt -> Some pt
+  | None -> sample_decomposed ~range:16 p
+
+(* Sample a point such that, for each name-set in [nonzero], at least one of
+   the names is non-zero (needed for rows that must be linearly
+   independent). *)
+let sample_nonzero p ~nonzero =
+  let ok pt =
+    List.for_all
+      (fun names -> List.exists (fun nm -> List.assoc nm pt <> 0) names)
+      nonzero
+  in
+  match sample_with_retries p with
+  | Some pt when ok pt -> Some pt
+  | base -> (
+      ignore base;
+      (* Force non-zero coefficients set by set, backtracking over which
+         coefficient of each set is forced and in which direction. *)
+      let space = Poly.space p in
+      let candidates cur names =
+        List.concat_map
+          (fun nm ->
+            [ Poly.add_ge cur (Aff.add_const (Aff.dim space nm) (-1));
+              Poly.add_ge cur (Aff.add_const (Aff.scale (-1) (Aff.dim space nm)) (-1)) ])
+          names
+      in
+      let rec force cur = function
+        | [] -> sample_with_retries cur
+        | names :: rest ->
+            List.find_map
+              (fun p2 ->
+                if Poly.is_rationally_empty p2 then None else force p2 rest)
+              (candidates cur names)
+      in
+      match nonzero with
+      | [] -> None
+      | _ ->
+          (match force p nonzero with
+          | Some pt when ok pt -> Some pt
+          | _ -> None))
+
+(* --- Classification of sharing opportunities (Table 1) ------------------ *)
+
+type klass = Self_write | Self_read | Nonself_write | Nonself_read
+
+let classify (ca : Coaccess.t) =
+  let self = Coaccess.is_self ca in
+  match (ca.Coaccess.src_typ, ca.Coaccess.dst_typ) with
+  | Access.Write, _ -> if self then Self_write else Nonself_write
+  | Access.Read, Access.Read -> if self then Self_read else Nonself_read
+  | Access.Read, Access.Write -> invalid_arg "classify: R->W is not a sharing opportunity"
+
+(* --- The main search ----------------------------------------------------- *)
+
+let find ss ~prog ~q ~deps =
+  let dtil = Program.max_depth prog in
+  let stmts = prog.Program.stmts in
+  let u = Sched_space.space ss in
+  let qsw = List.filter (fun c -> classify c = Self_write) q in
+  let qsr = List.filter (fun c -> classify c = Self_read) q in
+  let qnw = List.filter (fun c -> classify c = Nonself_write) q in
+  let qnr = List.filter (fun c -> classify c = Nonself_read) q in
+  (* State threaded through depths. *)
+  let module State = struct
+    type t = {
+      remaining : Coaccess.t list;  (* dependences not yet strongly satisfied *)
+      ks : (string * int) list;  (* independent rows chosen so far *)
+      prev_rows : (string * int list list) list;  (* loop-coeff vectors *)
+      rows : (string * Aff.t list) list;  (* sampled schedule rows (reversed) *)
+    }
+  end in
+  let init =
+    { State.remaining = deps;
+      ks = List.map (fun (s : Stmt.t) -> (s.Stmt.name, 0)) stmts;
+      prev_rows = List.map (fun (s : Stmt.t) -> (s.Stmt.name, [])) stmts;
+      rows = List.map (fun (s : Stmt.t) -> (s.Stmt.name, [])) stmts }
+  in
+  let intersect_all x polys = List.fold_left Poly.intersect x polys in
+  (* One depth; [qsr_signs] gives the +-1 choice for each self R->R at the
+     last depth. *)
+  let depth_step (st : State.t) ~d ~qsr_signs =
+    let x = Poly.universe u in
+    let x = intersect_all x (List.map (Sched_space.weak ss) st.State.remaining) in
+    let x = intersect_all x (List.map (Sched_space.equal_zero ss) (qnw @ qnr)) in
+    let x =
+      if d < dtil then intersect_all x (List.map (Sched_space.equal_zero ss) (qsw @ qsr))
+      else
+        let x = intersect_all x (List.map (Sched_space.equal_const ss ~delta:1) qsw) in
+        List.fold_left2
+          (fun x ca sign -> Poly.intersect x (Sched_space.equal_const ss ~delta:sign ca))
+          x qsr qsr_signs
+    in
+    if Poly.is_rationally_empty x then begin
+      Log.debug (fun m -> m "depth %d: constraint system empty" d);
+      None
+    end
+    else begin
+      (* Dimensionality constraints, statement by statement (Algorithm 1):
+         l = 0 keeps the row inside the span of previous rows, l = 1 forces
+         it into their orthogonal complement. *)
+      let exception Fail in
+      try
+        let x = ref x and choices = ref [] and new_ks = ref [] in
+        List.iter
+          (fun (s : Stmt.t) ->
+            let name = s.Stmt.name in
+            let k = List.assoc name st.State.ks in
+            let ds = Stmt.depth s in
+            let loop_names = Sched_space.loop_coeff_names ss ~stmt:name in
+            let prev = List.assoc name st.State.prev_rows in
+            let options = if dtil - d < ds - k then [ 1 ] else [ 0; 1 ] in
+            let constraint_for l =
+              match l with
+              | 0 ->
+                  (* Orthogonal to the null space of previous rows, i.e. in
+                     their span. *)
+                  let m =
+                    Array.of_list
+                      (List.map (fun r -> Array.of_list (List.map Q.of_int r)) prev)
+                  in
+                  let m = if Array.length m = 0 then [| Array.make (List.length loop_names) Q.zero |] else m in
+                  let basis = List.map Riot_linalg.Vec.normalize (Mat.null_space m) in
+                  List.map
+                    (fun v ->
+                      Aff.of_assoc u
+                        (List.mapi (fun i nm -> (nm, Q.num v.(i))) loop_names))
+                    basis
+              | _ ->
+                  (* Orthogonal to each previous row. *)
+                  List.map
+                    (fun r ->
+                      Aff.of_assoc u (List.map2 (fun nm c -> (nm, c)) loop_names r))
+                    prev
+            in
+            let try_l l =
+              let eqs = constraint_for l in
+              let x' = List.fold_left Poly.add_eq !x eqs in
+              if Poly.is_rationally_empty x' then None else Some (x', l)
+            in
+            match List.find_map try_l options with
+            | Some (x', l) ->
+                x := x';
+                choices := (name, l) :: !choices;
+                new_ks := (name, k + l) :: !new_ks
+            | None ->
+                Log.debug (fun m -> m "depth %d: dimensionality failed for %s" d name);
+                raise Fail)
+          stmts;
+        (* Strongly satisfy as many remaining dependences as possible. *)
+        let remaining =
+          List.filter
+            (fun dep ->
+              let x' = Poly.intersect !x (Sched_space.strong ss dep) in
+              if Poly.is_rationally_empty x' then true
+              else begin
+                x := x';
+                false
+              end)
+            st.State.remaining
+        in
+        (* Statements whose row must be linearly independent need a non-zero
+           loop-coefficient vector. *)
+        let nonzero =
+          List.filter_map
+            (fun (nm, l) ->
+              if l = 1 then Some (Sched_space.loop_coeff_names ss ~stmt:nm) else None)
+            !choices
+        in
+        match sample_nonzero !x ~nonzero with
+        | None ->
+            Log.debug (fun m -> m "depth %d: sampling failed for %a with nonzero=[%s]" d Poly.pp !x (String.concat "; " (List.map (String.concat ",") nonzero)));
+            None
+        | Some pt ->
+            let rows =
+              List.map
+                (fun (s : Stmt.t) ->
+                  let row = Sched_space.row_of_point ss ~stmt:s pt in
+                  (s.Stmt.name, row :: List.assoc s.Stmt.name st.State.rows))
+                stmts
+            in
+            let prev_rows =
+              List.map
+                (fun (s : Stmt.t) ->
+                  let nm = s.Stmt.name in
+                  let loop_names = Sched_space.loop_coeff_names ss ~stmt:nm in
+                  let vec = List.map (fun n -> List.assoc n pt) loop_names in
+                  let l = List.assoc nm !choices in
+                  let prev = List.assoc nm st.State.prev_rows in
+                  (nm, if l = 1 then vec :: prev else prev))
+                stmts
+            in
+            Some { State.remaining; ks = !new_ks; prev_rows; rows }
+      with Fail -> None
+    end
+  in
+  (* Constants for the last dimension by topological sort. *)
+  let assign_constants (st : State.t) =
+    (* Remaining self dependences can no longer be satisfied. *)
+    if List.exists Coaccess.is_self st.State.remaining then None
+    else begin
+      let names = List.map (fun (s : Stmt.t) -> s.Stmt.name) stmts in
+      let edges =
+        List.filter_map
+          (fun (ca : Coaccess.t) ->
+            if Coaccess.is_self ca then None
+            else Some (ca.Coaccess.src_stmt, ca.Coaccess.dst_stmt))
+          (st.State.remaining @ qnw @ qnr)
+      in
+      (* Kahn's algorithm; all statements receive distinct constants in a
+         topological order of the constraints. *)
+      let indeg = Hashtbl.create 8 in
+      List.iter (fun n -> Hashtbl.replace indeg n 0) names;
+      List.iter
+        (fun (_, d) -> Hashtbl.replace indeg d (1 + Hashtbl.find indeg d))
+        edges;
+      let order = ref [] in
+      let queue = Queue.create () in
+      List.iter (fun n -> if Hashtbl.find indeg n = 0 then Queue.add n queue) names;
+      while not (Queue.is_empty queue) do
+        let n = Queue.pop queue in
+        order := n :: !order;
+        List.iter
+          (fun (s, d) ->
+            if s = n then begin
+              let v = Hashtbl.find indeg d - 1 in
+              Hashtbl.replace indeg d v;
+              if v = 0 then Queue.add d queue
+            end)
+          edges
+      done;
+      if List.length !order <> List.length names then None (* cycle *)
+      else begin
+        let order = List.rev !order in
+        Some
+          (List.map
+             (fun (s : Stmt.t) ->
+               let nm = s.Stmt.name in
+               let c =
+                 let rec idx i = function
+                   | [] -> 0
+                   | x :: _ when x = nm -> i
+                   | _ :: r -> idx (i + 1) r
+                 in
+                 idx 0 order
+               in
+               let rows = List.rev (List.assoc nm st.State.rows) in
+               (nm, Array.of_list (rows @ [ Aff.const s.Stmt.space c ])))
+             stmts)
+      end
+    end
+  in
+  (* Run depths 1..dtil, branching over the +-1 choices of self R->R
+     opportunities at the last depth. *)
+  let rec run st d ~qsr_signs =
+    if d > dtil then assign_constants st
+    else
+      match depth_step st ~d ~qsr_signs with
+      | Some st' -> run st' (d + 1) ~qsr_signs
+      | None -> None
+  in
+  let rec sign_combos = function
+    | [] -> [ [] ]
+    | _ :: rest ->
+        let tails = sign_combos rest in
+        List.concat_map (fun t -> [ 1 :: t; -1 :: t ]) tails
+  in
+  if dtil = 0 then assign_constants init
+  else
+    List.find_map
+      (fun qsr_signs ->
+        Log.debug (fun m -> m "trying sign combo");
+        run init 1 ~qsr_signs)
+      (sign_combos qsr)

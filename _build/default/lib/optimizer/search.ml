@@ -1,0 +1,137 @@
+module Program = Riot_ir.Program
+module Coaccess = Riot_analysis.Coaccess
+module Deps = Riot_analysis.Deps
+
+let log = Logs.Src.create "riot.optimizer.search" ~doc:"Apriori plan search"
+
+module Log = (val Logs.src_log log : Logs.LOG)
+
+type plan = {
+  index : int;
+  q : Coaccess.t list;
+  sched : Riot_ir.Sched.program_sched;
+}
+
+type stats = {
+  candidates_tried : int;
+  feasible : int;
+  pruned : int;
+  elapsed : float;
+}
+
+(* Subsets are sorted lists of indices into the opportunity array. *)
+let subsets_of_size_minus_one c =
+  List.init (List.length c) (fun i -> List.filteri (fun j _ -> j <> i) c)
+
+let join_step feasible_prev =
+  (* Classic Apriori join: two (k-1)-sets sharing their first k-2 elements
+     merge into a k-candidate. *)
+  let rec prefix_eq a b =
+    match (a, b) with
+    | [ _ ], [ _ ] -> true
+    | x :: a', y :: b' -> x = y && prefix_eq a' b'
+    | _ -> false
+  in
+  let last l = List.nth l (List.length l - 1) in
+  let candidates = ref [] in
+  let rec pairs = function
+    | [] -> ()
+    | a :: rest ->
+        List.iter
+          (fun b ->
+            if prefix_eq a b then begin
+              let la = last a and lb = last b in
+              if la < lb then candidates := (a @ [ lb ]) :: !candidates
+              else if lb < la then candidates := (b @ [ la ]) :: !candidates
+            end)
+          rest;
+        pairs rest
+  in
+  pairs feasible_prev;
+  List.sort_uniq compare !candidates
+
+let enumerate ?(verify = true) ?max_size (prog : Program.t) ~analysis ~ref_params =
+  let t0 = Unix.gettimeofday () in
+  let opportunities = Array.of_list analysis.Deps.sharing in
+  let deps = analysis.Deps.dependences in
+  let n = Array.length opportunities in
+  let max_size = match max_size with Some m -> min m n | None -> n in
+  let ss = Sched_space.make prog in
+  let tried = ref 0 and pruned = ref 0 in
+  let chk = if verify then Some (Verify.checker prog ~params:ref_params) else None in
+  let check_plan q sched =
+    match chk with
+    | None -> true
+    | Some c ->
+        Verify.check_legal c sched
+        && Verify.check_injective c sched
+        && List.for_all (fun ca -> Verify.check_realizes c ca sched) q
+  in
+  let attempt idxs =
+    incr tried;
+    let q = List.map (fun i -> opportunities.(i)) idxs in
+    match Find_schedule.find ss ~prog ~q ~deps with
+    | None -> None
+    | Some sched ->
+        if check_plan q sched then Some sched
+        else begin
+          Log.warn (fun m ->
+              m "schedule for {%s} failed concrete verification; dropped"
+                (String.concat ", " (List.map (fun c -> Coaccess.label c) q)));
+          None
+        end
+  in
+  let plans = ref [] in
+  (* Plan 0: the original schedule, no sharing realized. *)
+  plans := [ ([], prog.Program.original) ];
+  (* k = 1 *)
+  let c1 =
+    List.filter_map
+      (fun i ->
+        match attempt [ i ] with
+        | Some sched ->
+            plans := ([ i ], sched) :: !plans;
+            Some [ i ]
+        | None -> None)
+      (List.init n Fun.id)
+  in
+  let rec level k feasible_prev =
+    if k > max_size || feasible_prev = [] then ()
+    else begin
+      let raw = join_step feasible_prev in
+      let candidates =
+        List.filter
+          (fun c ->
+            let ok =
+              List.for_all (fun s -> List.mem s feasible_prev) (subsets_of_size_minus_one c)
+            in
+            if not ok then incr pruned;
+            ok)
+          raw
+      in
+      let feasible =
+        List.filter_map
+          (fun c ->
+            match attempt c with
+            | Some sched ->
+                plans := (c, sched) :: !plans;
+                Some c
+            | None -> None)
+          candidates
+      in
+      level (k + 1) feasible
+    end
+  in
+  level 2 c1;
+  let plans =
+    List.rev !plans
+    |> List.mapi (fun index (idxs, sched) ->
+           { index; q = List.map (fun i -> opportunities.(i)) idxs; sched })
+  in
+  let stats =
+    { candidates_tried = !tried;
+      feasible = List.length plans - 1;
+      pruned = !pruned;
+      elapsed = Unix.gettimeofday () -. t0 }
+  in
+  (plans, stats)

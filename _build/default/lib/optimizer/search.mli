@@ -1,0 +1,31 @@
+(** Apriori-like plan enumeration (Algorithm 2).
+
+    A set of k sharing opportunities is only attempted if all its subsets of
+    size k-1 were feasible; feasibility is decided by {!Find_schedule.find}
+    and double-checked by the concrete verifier.  Returns one plan per
+    feasible opportunity subset (including the empty set under the original
+    schedule — the paper's Plan 0). *)
+
+type plan = {
+  index : int;
+  q : Riot_analysis.Coaccess.t list;  (** realized sharing opportunities *)
+  sched : Riot_ir.Sched.program_sched;
+}
+
+type stats = {
+  candidates_tried : int;  (** FindSchedule invocations *)
+  feasible : int;
+  pruned : int;  (** subsets never attempted thanks to the Apriori property *)
+  elapsed : float;  (** seconds *)
+}
+
+val enumerate :
+  ?verify:bool ->
+  ?max_size:int ->
+  Riot_ir.Program.t ->
+  analysis:Riot_analysis.Deps.result ->
+  ref_params:(string * int) list ->
+  plan list * stats
+(** [verify] (default true) re-checks every found schedule concretely at
+    [ref_params] (legality, injectivity, realization) and drops schedules
+    that fail; [max_size] caps the opportunity-subset size. *)

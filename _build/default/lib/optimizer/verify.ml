@@ -1,0 +1,146 @@
+module Sched = Riot_ir.Sched
+module Stmt = Riot_ir.Stmt
+module Program = Riot_ir.Program
+module Access = Riot_ir.Access
+module Coaccess = Riot_analysis.Coaccess
+module Deps = Riot_analysis.Deps
+
+let lookup_in inst params n =
+  match List.assoc_opt n inst with Some v -> v | None -> List.assoc n params
+
+let times (prog : Program.t) ~sched ~params =
+  List.concat_map
+    (fun (s : Stmt.t) ->
+      let rows = Sched.find sched s.Stmt.name in
+      List.map
+        (fun inst -> (s.Stmt.name, inst, Sched.time_of rows (lookup_in inst params)))
+        (Program.instances prog s ~params))
+    prog.Program.stmts
+
+let time_of prog ~sched ~params stmt inst =
+  let rows = Sched.find sched stmt in
+  ignore prog;
+  Sched.time_of rows (lookup_in inst params)
+
+let legal (prog : Program.t) ~sched ~params =
+  let pairs = Deps.concrete_dependence_pairs prog ~params in
+  List.for_all
+    (fun ((s1, i1), (s2, i2)) ->
+      Sched.lex_lt
+        (time_of prog ~sched ~params s1 i1)
+        (time_of prog ~sched ~params s2 i2))
+    pairs
+
+let injective (prog : Program.t) ~sched ~params =
+  let seen = Hashtbl.create 1024 in
+  List.for_all
+    (fun (_, _, time) ->
+      let k = Array.to_list time in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.add seen k ();
+        true
+      end)
+    (times prog ~sched ~params)
+
+let realizes_pairs (prog : Program.t) ~sched ~params (ca : Coaccess.t) pairs =
+  let diffs =
+    List.map
+      (fun (src, dst) ->
+        let t1 = time_of prog ~sched ~params ca.Coaccess.src_stmt src in
+        let t2 = time_of prog ~sched ~params ca.Coaccess.dst_stmt dst in
+        let n = max (Array.length t1) (Array.length t2) in
+        Array.init n (fun i ->
+            let get v j = if j < Array.length v then v.(j) else 0 in
+            get t2 i - get t1 i))
+      pairs
+  in
+  let is_read_read =
+    ca.Coaccess.src_typ = Access.Read && ca.Coaccess.dst_typ = Access.Read
+  in
+  ignore prog;
+  if Coaccess.is_self ca then begin
+    (* (0,...,0,c,0) with c = 1, or a consistent c in {1,-1} for R->R. *)
+    let ok_shape d =
+      let n = Array.length d in
+      n >= 2
+      && Array.for_all (fun v -> v = 0) (Array.sub d 0 (n - 2))
+      && d.(n - 1) = 0
+      && (if is_read_read then abs d.(n - 2) = 1 else d.(n - 2) = 1)
+    in
+    List.for_all ok_shape diffs
+    &&
+    match diffs with
+    | [] -> true
+    | d0 :: rest ->
+        let n = Array.length d0 in
+        List.for_all (fun d -> d.(n - 2) = d0.(n - 2)) rest
+  end
+  else begin
+    (* (0,...,0,c) with c > 0, or consistent c <> 0 for R->R. *)
+    let ok_shape d =
+      let n = Array.length d in
+      n >= 1
+      && Array.for_all (fun v -> v = 0) (Array.sub d 0 (n - 1))
+      && (if is_read_read then d.(n - 1) <> 0 else d.(n - 1) > 0)
+    in
+    List.for_all ok_shape diffs
+  end
+
+let realizes (prog : Program.t) ~sched ~params (ca : Coaccess.t) =
+  realizes_pairs prog ~sched ~params ca (Coaccess.pairs_at ca ~params)
+
+type checker = {
+  cprog : Program.t;
+  cparams : (string * int) list;
+  instances : (string * (string * int) list list) list;
+  ground_pairs :
+    ((string * (string * int) list) * (string * (string * int) list)) list;
+  extent_pairs : (string, ((string * int) list * (string * int) list) list) Hashtbl.t;
+}
+
+let checker (prog : Program.t) ~params =
+  { cprog = prog;
+    cparams = params;
+    instances =
+      List.map
+        (fun (s : Stmt.t) -> (s.Stmt.name, Program.instances prog s ~params))
+        prog.Program.stmts;
+    ground_pairs = Deps.concrete_dependence_pairs prog ~params;
+    extent_pairs = Hashtbl.create 32 }
+
+let check_legal c sched =
+  List.for_all
+    (fun ((s1, i1), (s2, i2)) ->
+      Sched.lex_lt
+        (time_of c.cprog ~sched ~params:c.cparams s1 i1)
+        (time_of c.cprog ~sched ~params:c.cparams s2 i2))
+    c.ground_pairs
+
+let check_injective c sched =
+  let seen = Hashtbl.create 1024 in
+  List.for_all
+    (fun (stmt, insts) ->
+      let rows = Sched.find sched stmt in
+      List.for_all
+        (fun inst ->
+          let k = Array.to_list (Sched.time_of rows (lookup_in inst c.cparams)) in
+          if Hashtbl.mem seen k then false
+          else begin
+            Hashtbl.add seen k ();
+            true
+          end)
+        insts)
+    c.instances
+
+let check_realizes c (ca : Coaccess.t) sched =
+  let key = Coaccess.key ca in
+  let pairs =
+    match Hashtbl.find_opt c.extent_pairs key with
+    | Some p -> p
+    | None ->
+        let p = Coaccess.pairs_at ca ~params:c.cparams in
+        Hashtbl.add c.extent_pairs key p;
+        p
+  in
+  realizes_pairs c.cprog ~sched ~params:c.cparams ca pairs

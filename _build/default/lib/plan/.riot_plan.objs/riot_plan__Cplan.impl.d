@@ -1,0 +1,1 @@
+lib/plan/cplan.ml: Array Hashtbl List Machine Option Printf Riot_analysis Riot_ir Riot_poly String

@@ -1,0 +1,1 @@
+lib/plan/cplan.mli: Machine Riot_analysis Riot_ir

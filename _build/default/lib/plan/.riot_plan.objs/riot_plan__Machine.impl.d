@@ -1,0 +1,1 @@
+lib/plan/machine.ml:

@@ -1,0 +1,1 @@
+lib/plan/symbolic.ml: Format List Option Riot_analysis Riot_base Riot_ir Riot_poly

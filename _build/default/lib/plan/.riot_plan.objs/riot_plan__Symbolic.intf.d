@@ -1,0 +1,1 @@
+lib/plan/symbolic.mli: Format Riot_analysis Riot_ir Riot_poly

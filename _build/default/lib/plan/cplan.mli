@@ -1,0 +1,87 @@
+(** Concrete executable plans.
+
+    A plan is the lexicographically-ordered list of statement instances of a
+    schedule at concrete configuration parameters, annotated with the I/O
+    behaviour of every block access under the realized sharing opportunities:
+    which reads are serviced from memory, which writes are elided (W->W
+    sharing, and intermediate blocks whose every subsequent read is serviced
+    from memory - the paper's footnote 8), and which blocks must stay pinned
+    in memory over which step intervals.
+
+    The same structure drives the cost model (Section 5.4) and the execution
+    engine, so predicted and actual I/O agree by construction up to the disk
+    model - exactly the property the paper demonstrates. *)
+
+type block = { array : string; index : int list }
+
+type read_src = From_disk | From_memory
+type write_dst = To_disk | Elided
+
+type step = {
+  stmt : string;
+  instance : (string * int) list;  (** qualified loop variables *)
+  time : int array;
+  reads : (Riot_ir.Access.t * block * read_src) list;
+  writes : (Riot_ir.Access.t * block * write_dst) list;
+}
+
+type t = {
+  prog : Riot_ir.Program.t;
+  config : Riot_ir.Config.t;
+  sched : Riot_ir.Sched.program_sched;
+  realized : Riot_analysis.Coaccess.t list;
+  steps : step array;
+  pins : (block * int * int) list;
+      (** blocks that must stay resident over [start, stop] step indices *)
+  read_bytes : int;
+  write_bytes : int;
+  read_ops : int;
+  write_ops : int;
+  peak_memory : int;  (** bytes *)
+  flops : float;
+  moved_bytes : float;  (** element-wise kernel traffic *)
+}
+
+type cache
+(** Memoises the schedule-independent work (statement instance sets, extent
+    pairs) across the many plans costed under one configuration. *)
+
+val cache : Riot_ir.Program.t -> config:Riot_ir.Config.t -> cache
+
+val build :
+  ?cache:cache ->
+  Riot_ir.Program.t ->
+  config:Riot_ir.Config.t ->
+  sched:Riot_ir.Sched.program_sched ->
+  realized:Riot_analysis.Coaccess.t list ->
+  t
+(** @raise Invalid_argument when an access falls outside the configured block
+    grid (configuration/program mismatch). *)
+
+val block_bytes : t -> block -> int
+
+val predicted_io_seconds : Machine.t -> t -> float
+(** The optimizer's linear I/O-volume model. *)
+
+val actual_io_seconds : Machine.t -> t -> float
+(** Simulated-disk time: volume plus per-request overhead. *)
+
+val cpu_seconds : Machine.t -> t -> float
+
+val total_predicted_seconds : Machine.t -> t -> float
+(** I/O + CPU (the program is executed phase by phase, as in the paper's
+    breakdown). *)
+
+type array_io = {
+  io_array : string;
+  io_disk_reads : int;
+  io_mem_reads : int;
+  io_writes : int;
+  io_elided : int;
+}
+
+val explain : t -> array_io list
+(** Per-array breakdown of the plan's block accesses (for `riotshare
+    optimize --explain` and debugging). *)
+
+val summary : t -> string

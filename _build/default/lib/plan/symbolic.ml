@@ -1,0 +1,66 @@
+module P = Riot_poly.Polynomial
+module Count = Riot_poly.Count
+module Q = Riot_base.Q
+module Stmt = Riot_ir.Stmt
+module Program = Riot_ir.Program
+module Access = Riot_ir.Access
+module Coaccess = Riot_analysis.Coaccess
+
+type t = {
+  baseline_read_bytes : P.t;
+  baseline_write_bytes : P.t;
+  read_savings_bytes : P.t;
+  read_bytes : P.t;
+}
+
+let ( let* ) = Option.bind
+
+let sum_counts f l =
+  List.fold_left
+    (fun acc x ->
+      let* acc = acc in
+      let* c = f x in
+      Some (P.add acc c))
+    (Some P.zero) l
+
+let analyse (prog : Program.t) ~block_bytes ~realized =
+  let access_volume (s : Stmt.t) (a : Access.t) =
+    let* c =
+      Count.count (Stmt.access_domain s a) ~over:(Stmt.qualified_vars s)
+    in
+    Some (P.scale (Q.of_int (block_bytes a.Access.array)) c)
+  in
+  let volume_of typ =
+    sum_counts
+      (fun (s : Stmt.t) ->
+        sum_counts (access_volume s)
+          (List.filter (fun (a : Access.t) -> a.Access.typ = typ) s.Stmt.accesses))
+      prog.Program.stmts
+  in
+  let* baseline_read_bytes = volume_of Access.Read in
+  let* baseline_write_bytes = volume_of Access.Write in
+  (* Each extent pair of a realized W->R / R->R opportunity saves one read
+     of the shared block. *)
+  let* read_savings_bytes =
+    sum_counts
+      (fun (ca : Coaccess.t) ->
+        if ca.Coaccess.dst_typ = Access.Read then
+          let* pairs =
+            Count.count_union ca.Coaccess.extent
+              ~over:(ca.Coaccess.src_vars @ ca.Coaccess.dst_vars)
+          in
+          Some (P.scale (Q.of_int (block_bytes ca.Coaccess.array)) pairs)
+        else Some P.zero)
+      realized
+  in
+  Some
+    { baseline_read_bytes;
+      baseline_write_bytes;
+      read_savings_bytes;
+      read_bytes = P.sub baseline_read_bytes read_savings_bytes }
+
+let pp ppf t =
+  Format.fprintf ppf
+    "@[<v>baseline reads:  %a@ baseline writes: %a@ read savings:    %a@ reads:           %a@]"
+    P.pp t.baseline_read_bytes P.pp t.baseline_write_bytes P.pp t.read_savings_bytes
+    P.pp t.read_bytes

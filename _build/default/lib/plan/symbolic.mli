@@ -1,0 +1,29 @@
+(** Symbolic I/O cost formulas (the paper's Section 5.4 remark: costs are
+    polynomials in the global parameters, so a program template is optimized
+    once and re-costed by plugging in new sizes).
+
+    The symbolic model is the paper's access-level one: baseline volume sums
+    every access over its domain; each realized sharing opportunity saves one
+    block transfer per extent pair.  Concrete effects that depend on the
+    actual parameter values (write elision of intermediates, reads covered
+    incidentally by pin intervals, same-block access merging) are by nature
+    piecewise and are handled by the exact concrete evaluator
+    ({!Cplan.build}); read volumes agree exactly between the two models on
+    plans without such incidental coverage, which the test-suite checks. *)
+
+type t = {
+  baseline_read_bytes : Riot_poly.Polynomial.t;
+  baseline_write_bytes : Riot_poly.Polynomial.t;
+  read_savings_bytes : Riot_poly.Polynomial.t;
+  read_bytes : Riot_poly.Polynomial.t;  (** baseline - savings *)
+}
+
+val analyse :
+  Riot_ir.Program.t ->
+  block_bytes:(string -> int) ->
+  realized:Riot_analysis.Coaccess.t list ->
+  t option
+(** [None] when some domain or extent is not box-decomposable (see
+    {!Riot_poly.Count}); callers fall back to concrete costing. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/poly/aff.mli: Format Riot_base Space

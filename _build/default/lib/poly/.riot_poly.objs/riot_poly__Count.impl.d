@@ -1,0 +1,1 @@
+lib/poly/count.ml: Aff Array List Poly Polynomial Riot_base Space Union

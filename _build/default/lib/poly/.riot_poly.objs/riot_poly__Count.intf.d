@@ -1,0 +1,1 @@
+lib/poly/count.mli: Poly Polynomial Union

@@ -1,0 +1,1 @@
+lib/poly/farkas.ml: Aff Array List Poly Printf Riot_base Space Union

@@ -1,0 +1,1 @@
+lib/poly/farkas.mli: Aff Poly Space Union

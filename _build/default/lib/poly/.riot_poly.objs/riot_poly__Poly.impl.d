@@ -1,0 +1,1 @@
+lib/poly/poly.ml: Aff Array Format Fun Hashtbl List Option Riot_base Space

@@ -1,0 +1,1 @@
+lib/poly/polynomial.ml: Aff Array Format List Map Printf Riot_base Space Stdlib String

@@ -1,0 +1,1 @@
+lib/poly/space.ml: Array Format Hashtbl List

@@ -1,0 +1,1 @@
+lib/poly/union.ml: Format Hashtbl List Poly Space

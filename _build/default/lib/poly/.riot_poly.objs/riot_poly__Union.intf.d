@@ -1,0 +1,1 @@
+lib/poly/union.mli: Aff Format Poly Space

@@ -1,0 +1,76 @@
+module Q = Riot_base.Q
+
+let rec count p ~over =
+  let p = Poly.simplify p in
+  if Poly.is_obviously_empty p then Some Polynomial.zero
+  else
+    match over with
+    | [] -> Some Polynomial.one
+    | _ -> (
+        (* Substitute away any counted dimension pinned by a unit-coefficient
+           equality: it contributes a factor of one. *)
+        let pinned =
+          List.find_opt
+            (fun d ->
+              List.exists (fun (a : Aff.t) -> abs (Aff.coeff a d) = 1) (Poly.eqs p))
+            over
+        in
+        match pinned with
+        | Some d ->
+            count (Poly.eliminate ~tighten:true p [ d ])
+              ~over:(List.filter (fun x -> x <> d) over)
+        | None ->
+            (* A non-unit equality on a counted dim means stride counting. *)
+            if
+              List.exists
+                (fun (a : Aff.t) -> List.exists (fun d -> Aff.coeff a d <> 0) over)
+                (Poly.eqs p)
+            then None
+            else begin
+              (* Every counted dim must now range independently. *)
+              let factor d =
+                let touching =
+                  List.filter (fun (a : Aff.t) -> Aff.coeff a d <> 0) (Poly.ges p)
+                in
+                let independent =
+                  List.for_all
+                    (fun (a : Aff.t) ->
+                      List.for_all (fun d' -> d' = d || Aff.coeff a d' = 0) over)
+                    touching
+                in
+                if not independent then None
+                else begin
+                  let lowers, uppers =
+                    List.partition (fun (a : Aff.t) -> Aff.coeff a d > 0) touching
+                  in
+                  match (lowers, uppers) with
+                  | [ lo ], [ hi ] when Aff.coeff lo d = 1 && Aff.coeff hi d = -1 ->
+                      (* d >= -lo_rest and d <= hi_rest:
+                         count = hi_rest + lo_rest + 1. *)
+                      let strip a =
+                        let a' = { a with Aff.coeffs = Array.copy a.Aff.coeffs } in
+                        a'.Aff.coeffs.(Space.index a.Aff.space d) <- 0;
+                        Polynomial.of_aff a'
+                      in
+                      Some
+                        (Polynomial.add
+                           (Polynomial.add (strip hi) (strip lo))
+                           Polynomial.one)
+                  | _ -> None
+                end
+              in
+              List.fold_left
+                (fun acc d ->
+                  match (acc, factor d) with
+                  | Some acc, Some f -> Some (Polynomial.mul acc f)
+                  | _ -> None)
+                (Some Polynomial.one) over
+            end)
+
+let count_union u ~over =
+  List.fold_left
+    (fun acc d ->
+      match (acc, count d ~over) with
+      | Some acc, Some c -> Some (Polynomial.add acc c)
+      | _ -> None)
+    (Some Polynomial.zero) (Union.disjuncts u)

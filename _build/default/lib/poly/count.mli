@@ -1,0 +1,21 @@
+(** Parametric counting of integer points (the restricted counting the
+    symbolic cost formulas of Section 5.4 need).
+
+    [count p ~over] is the number of integer points of [p] projected onto
+    the [over] dimensions, as a polynomial in the remaining dimensions
+    (the program parameters), when the polyhedron is box-decomposable:
+    every counted dimension is either pinned by a unit-coefficient equality
+    or ranges independently between one affine lower and one affine upper
+    bound in the parameters.  Returns [None] otherwise (triangular domains,
+    strides, min/max bounds) - callers fall back to concrete enumeration.
+
+    The polynomial is valid on the parameter region where every range is
+    non-empty (the paper's piecewise quasipolynomials; this is the generic
+    piece, and the reference configurations all live in it). *)
+
+val count : Poly.t -> over:string list -> Polynomial.t option
+
+val count_union : Union.t -> over:string list -> Polynomial.t option
+(** Sum over disjuncts - exact when the disjuncts are disjoint, which holds
+    for the extent unions this library produces (distinct lexicographic
+    depths, difference pieces). *)

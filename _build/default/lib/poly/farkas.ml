@@ -1,0 +1,61 @@
+module C = Riot_base.Checked
+
+let nonneg_on ~unknowns ~over ~coeff ~const =
+  let over = Poly.simplify over in
+  if Poly.is_obviously_empty over || Poly.is_rationally_empty over then
+    Poly.universe unknowns
+  else begin
+    let vspace = Poly.space over in
+    let eqs = Poly.eqs over and ges = Poly.ges over in
+    let lam_names = List.mapi (fun j _ -> Printf.sprintf "$l%d" j) ges in
+    let mu_names = List.mapi (fun k _ -> Printf.sprintf "$m%d" k) eqs in
+    let wspace = Space.append unknowns (("$l_0" :: lam_names) @ mu_names) in
+    let cast = Aff.cast wspace in
+    (* Coefficient-matching equation for one v-dimension (or the constant):
+       target_form(u) - sum_j lam_j * a_j - sum_k mu_k * e_k  ( - lam_0 )  = 0 *)
+    let matching ~with_l0 target_form component =
+      let lam_terms =
+        List.map2 (fun name g -> (name, C.neg (component g))) lam_names ges
+      in
+      let mu_terms =
+        List.map2 (fun name e -> (name, C.neg (component e))) mu_names eqs
+      in
+      let l0_term = if with_l0 then [ ("$l_0", -1) ] else [] in
+      Aff.add (cast target_form)
+        (Aff.of_assoc wspace (l0_term @ lam_terms @ mu_terms))
+    in
+    let dim_eqs =
+      List.mapi
+        (fun i name ->
+          matching ~with_l0:false (coeff name) (fun a -> a.Aff.coeffs.(i)))
+        (Space.names vspace)
+    in
+    let const_eq = matching ~with_l0:true const (fun a -> a.Aff.const) in
+    let sign_ges = List.map (fun n -> Aff.dim wspace n) ("$l_0" :: lam_names) in
+    let system = Poly.of_constraints wspace ~eqs:(const_eq :: dim_eqs) ~ges:sign_ges in
+    (* The multipliers are rational: eliminate without integer tightening. *)
+    let projected =
+      Poly.eliminate ~tighten:false system (("$l_0" :: lam_names) @ mu_names)
+    in
+    Poly.simplify ~tighten:true (Poly.cast unknowns projected)
+  end
+
+let zero_on ~unknowns ~over ~coeff ~const =
+  let pos = nonneg_on ~unknowns ~over ~coeff ~const in
+  let neg =
+    nonneg_on ~unknowns ~over
+      ~coeff:(fun n -> Aff.neg (coeff n))
+      ~const:(Aff.neg const)
+  in
+  Poly.intersect pos neg
+
+let on_union f ~unknowns ~over ~coeff ~const =
+  List.fold_left
+    (fun acc d -> Poly.intersect acc (f ~unknowns ~over:d ~coeff ~const))
+    (Poly.universe unknowns) (Union.disjuncts over)
+
+let nonneg_on_union ~unknowns ~over ~coeff ~const =
+  on_union nonneg_on ~unknowns ~over ~coeff ~const
+
+let zero_on_union ~unknowns ~over ~coeff ~const =
+  on_union zero_on ~unknowns ~over ~coeff ~const

@@ -1,0 +1,45 @@
+(** Affine form of the Farkas lemma (Lemma 1 of the paper).
+
+    Given a polyhedron [P] over variables [v] and a target affine form whose
+    coefficients are themselves affine in a set of {e unknowns} [u] (schedule
+    coefficients), produce the polyhedron of all [u] such that the target is
+    non-negative (resp. zero) on every point of [P].
+
+    The Farkas multipliers are rational, so they are eliminated by exact
+    rational Fourier–Motzkin; the returned system over the integer unknowns
+    is then integer-tightened. *)
+
+val nonneg_on :
+  unknowns:Space.t ->
+  over:Poly.t ->
+  coeff:(string -> Aff.t) ->
+  const:Aff.t ->
+  Poly.t
+(** [nonneg_on ~unknowns ~over ~coeff ~const] constrains [u] so that
+    [sum_i coeff v_i (u) * v_i + const (u) >= 0] for all [v] in [over].
+    [coeff] maps each dimension name of [over]'s space to an affine form over
+    [unknowns]; [const] is the constant term, also over [unknowns].
+    If [over] has no rational points the result is the universe. *)
+
+val zero_on :
+  unknowns:Space.t ->
+  over:Poly.t ->
+  coeff:(string -> Aff.t) ->
+  const:Aff.t ->
+  Poly.t
+(** Same, for [= 0] on every point of [over]. *)
+
+val nonneg_on_union :
+  unknowns:Space.t ->
+  over:Union.t ->
+  coeff:(string -> Aff.t) ->
+  const:Aff.t ->
+  Poly.t
+(** Conjunction of {!nonneg_on} over every disjunct. *)
+
+val zero_on_union :
+  unknowns:Space.t ->
+  over:Union.t ->
+  coeff:(string -> Aff.t) ->
+  const:Aff.t ->
+  Poly.t

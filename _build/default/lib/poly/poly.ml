@@ -1,0 +1,427 @@
+module C = Riot_base.Checked
+module Q = Riot_base.Q
+
+type t = { space : Space.t; eqs : Aff.t list; ges : Aff.t list }
+
+let space t = t.space
+let universe space = { space; eqs = []; ges = [] }
+let of_constraints space ~eqs ~ges = { space; eqs; ges }
+let eqs t = t.eqs
+let ges t = t.ges
+let add_eq t aff = { t with eqs = aff :: t.eqs }
+let add_ge t aff = { t with ges = aff :: t.ges }
+let add_gt t aff = { t with ges = Aff.add_const aff (-1) :: t.ges }
+
+let intersect a b =
+  if not (Space.equal a.space b.space) then invalid_arg "Poly.intersect: space mismatch";
+  { a with eqs = a.eqs @ b.eqs; ges = a.ges @ b.ges }
+
+let cast space t =
+  { space; eqs = List.map (Aff.cast space) t.eqs; ges = List.map (Aff.cast space) t.ges }
+
+let product a b =
+  let space = Space.concat a.space b.space in
+  intersect (cast space a) (cast space b)
+
+(* --- Constraint normalisation ----------------------------------------- *)
+
+(* The canonical empty polyhedron: 0 >= -1 is recognisable syntactically. *)
+let empty space = { space; eqs = []; ges = [ Aff.const space (-1) ] }
+
+exception Infeasible
+
+(* Normalise an equality [aff = 0]. Returns [None] for the trivial 0 = 0.
+   With [tighten], an equality whose coefficient gcd does not divide the
+   constant has no integer solution.
+   @raise Infeasible when no solution can exist. *)
+let norm_eq ~tighten aff =
+  let g = Aff.content_gcd aff in
+  if g = 0 then if aff.Aff.const = 0 then None else raise Infeasible
+  else if aff.Aff.const mod g <> 0 then
+    if tighten then raise Infeasible
+    else
+      let g = C.gcd g aff.Aff.const in
+      let aff =
+        if g <= 1 then aff
+        else { aff with Aff.coeffs = Array.map (fun c -> c / g) aff.Aff.coeffs;
+                        Aff.const = aff.Aff.const / g }
+      in
+      Some aff
+  else
+    let aff = { aff with Aff.coeffs = Array.map (fun c -> c / g) aff.Aff.coeffs;
+                         Aff.const = aff.Aff.const / g } in
+    (* Canonical sign: first non-zero coefficient positive. *)
+    let rec lead i =
+      if i >= Array.length aff.Aff.coeffs then 1
+      else if aff.Aff.coeffs.(i) > 0 then 1
+      else if aff.Aff.coeffs.(i) < 0 then -1
+      else lead (i + 1)
+    in
+    Some (if lead 0 < 0 then Aff.neg aff else aff)
+
+(* Normalise an inequality [aff >= 0]. [tighten] may round the constant down
+   (valid over the integers only). Returns [None] for a trivially true
+   constraint. @raise Infeasible when trivially false. *)
+let norm_ge ~tighten aff =
+  let g = Aff.content_gcd aff in
+  if g = 0 then if aff.Aff.const >= 0 then None else raise Infeasible
+  else if tighten then
+    Some
+      { aff with Aff.coeffs = Array.map (fun c -> c / g) aff.Aff.coeffs;
+                 Aff.const = C.fdiv aff.Aff.const g }
+  else
+    let g = C.gcd g aff.Aff.const in
+    if g <= 1 then Some aff
+    else
+      Some
+        { aff with Aff.coeffs = Array.map (fun c -> c / g) aff.Aff.coeffs;
+                   Aff.const = aff.Aff.const / g }
+
+let key aff = (Array.to_list aff.Aff.coeffs, aff.Aff.const)
+let coeff_key aff = Array.to_list aff.Aff.coeffs
+
+let simplify_exn ?(tighten = true) t =
+  let eqs = List.filter_map (norm_eq ~tighten) t.eqs in
+  let ges = List.filter_map (norm_ge ~tighten) t.ges in
+  (* Dedup equalities. *)
+  let tbl = Hashtbl.create 16 in
+  let eqs =
+    List.filter
+      (fun a ->
+        let k = key a in
+        if Hashtbl.mem tbl k then false else (Hashtbl.add tbl k (); true))
+      eqs
+  in
+  (* For inequalities sharing a coefficient vector keep only the strongest
+     (smallest constant); detect opposite pairs that form an equality. *)
+  let best : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let k = coeff_key a in
+      match Hashtbl.find_opt best k with
+      | Some c when c <= a.Aff.const -> ()
+      | _ -> Hashtbl.replace best k a.Aff.const)
+    ges;
+  let promoted = ref [] in
+  let ges =
+    List.filter_map
+      (fun a ->
+        let k = coeff_key a in
+        match Hashtbl.find_opt best k with
+        | Some c when c = a.Aff.const ->
+            Hashtbl.remove best k;
+            (* Opposite direction present with exactly opposite constant? *)
+            let nk = coeff_key (Aff.neg a) in
+            (match Hashtbl.find_opt best nk with
+            | Some nc when nc = -a.Aff.const ->
+                Hashtbl.remove best nk;
+                promoted := a :: !promoted;
+                None
+            | _ -> Some a)
+        | _ -> None)
+      ges
+  in
+  let extra_eqs = List.filter_map (norm_eq ~tighten) !promoted in
+  { t with eqs = eqs @ extra_eqs; ges }
+
+let simplify ?tighten t = try simplify_exn ?tighten t with Infeasible -> empty t.space
+
+let is_obviously_empty t =
+  List.exists (fun a -> Aff.is_constant a && a.Aff.const < 0) t.ges
+  || List.exists (fun a -> Aff.is_constant a && a.Aff.const <> 0) t.eqs
+
+(* --- Fourier–Motzkin elimination --------------------------------------- *)
+
+(* Eliminate one dimension. Prefers exact substitution via an equality with a
+   unit coefficient; otherwise falls back to FM over the inequalities (with
+   non-unit equalities split into two inequalities). *)
+let eliminate_one ~tighten t name =
+  let i = Space.index t.space name in
+  let coeff a = a.Aff.coeffs.(i) in
+  let unit_eq = List.find_opt (fun a -> abs (coeff a) = 1) (List.filter (fun a -> coeff a <> 0) t.eqs) in
+  match unit_eq with
+  | Some e ->
+      (* e = c*x + rest = 0  =>  x = -rest/c = -c*rest (|c| = 1). *)
+      let c = coeff e in
+      let rest = { e with Aff.coeffs = Array.copy e.Aff.coeffs } in
+      rest.Aff.coeffs.(i) <- 0;
+      let r = Aff.scale (-c) rest in
+      let sub a = if coeff a = 0 then a else Aff.subst a name r in
+      { t with
+        eqs = List.filter (fun a -> not (a == e)) t.eqs |> List.map sub;
+        ges = List.map sub t.ges }
+  | None ->
+      let eq_with, eq_without = List.partition (fun a -> coeff a <> 0) t.eqs in
+      let ges = t.ges @ List.concat_map (fun a -> [ a; Aff.neg a ]) eq_with in
+      let pos, rest = List.partition (fun a -> coeff a > 0) ges in
+      let negs, zero = List.partition (fun a -> coeff a < 0) rest in
+      let combos =
+        List.concat_map
+          (fun p ->
+            List.map
+              (fun n ->
+                (* p: a*x + e >= 0 (a>0);  n: -b*x + f >= 0 (b>0)
+                   =>  b*e + a*f >= 0 *)
+                let a = coeff p and b = -coeff n in
+                let g = C.gcd a b in
+                let c = Aff.add (Aff.scale (b / g) p) (Aff.scale (a / g) n) in
+                c)
+              negs)
+          pos
+      in
+      simplify ~tighten { t with eqs = eq_without; ges = zero @ combos }
+
+let eliminate ?(tighten = true) t names =
+  let t = simplify ~tighten t in
+  if is_obviously_empty t then empty t.space
+  else
+    List.fold_left
+      (fun t name ->
+        if is_obviously_empty t then empty t.space
+        else eliminate_one ~tighten t name)
+      t names
+
+let drop_dims t names =
+  let t = eliminate t names in
+  let space = Space.remove t.space names in
+  cast space t
+
+let fix_dims t assignments =
+  let fix a = Aff.fix_dims a assignments in
+  let names = List.map fst assignments in
+  let space = Space.remove t.space names in
+  cast space { t with eqs = List.map fix t.eqs; ges = List.map fix t.ges }
+
+let rename t mapping =
+  let rn n = match List.assoc_opt n mapping with Some m -> m | None -> n in
+  let space = Space.of_names (List.map rn (Space.names t.space)) in
+  let re a = { a with Aff.space = space } in
+  { space; eqs = List.map re t.eqs; ges = List.map re t.ges }
+
+(* --- Emptiness, sampling, enumeration ---------------------------------- *)
+
+(* Connected components of the constraint graph: dimensions coupled by a
+   common constraint. Emptiness factorises over components, which keeps
+   Fourier-Motzkin elimination local (the schedule-coefficient spaces of the
+   optimizer couple statements only pairwise). *)
+let split_components t =
+  let n = Space.dim t.space in
+  if n = 0 then [ t ]
+  else begin
+    let parent = Array.init n Fun.id in
+    let rec find i =
+      if parent.(i) = i then i
+      else begin
+        parent.(i) <- find parent.(i);
+        parent.(i)
+      end
+    in
+    let union i j =
+      let ri = find i and rj = find j in
+      if ri <> rj then parent.(ri) <- rj
+    in
+    let touch (a : Aff.t) =
+      let first = ref (-1) in
+      Array.iteri
+        (fun i c ->
+          if c <> 0 then
+            if !first < 0 then first := i else union !first i)
+        a.Aff.coeffs
+    in
+    List.iter touch t.eqs;
+    List.iter touch t.ges;
+    let groups = Hashtbl.create 8 in
+    for i = 0 to n - 1 do
+      let r = find i in
+      Hashtbl.replace groups r (i :: Option.value ~default:[] (Hashtbl.find_opt groups r))
+    done;
+    let involves (a : Aff.t) dims = List.exists (fun i -> a.Aff.coeffs.(i) <> 0) dims in
+    let comps =
+      Hashtbl.fold
+        (fun _ dims acc ->
+          let names = List.map (Space.name t.space) dims in
+          let sub = Space.of_names names in
+          let keep l = List.filter (fun a -> involves a dims) l in
+          { space = sub;
+            eqs = List.map (Aff.cast sub) (keep t.eqs);
+            ges = List.map (Aff.cast sub) (keep t.ges) }
+          :: acc)
+        groups []
+    in
+    (* Constant-only constraints belong to no component; give them a home. *)
+    let consts =
+      { space = Space.of_names [];
+        eqs = List.filter Aff.is_constant t.eqs |> List.map (Aff.cast (Space.of_names []));
+        ges = List.filter Aff.is_constant t.ges |> List.map (Aff.cast (Space.of_names [])) }
+    in
+    if consts.eqs = [] && consts.ges = [] then comps else consts :: comps
+  end
+
+let is_rationally_empty t =
+  let t = simplify ~tighten:false t in
+  if is_obviously_empty t then true
+  else
+    List.exists
+      (fun c ->
+        is_obviously_empty
+          (eliminate ~tighten:false c (Space.names c.space)))
+      (split_components t)
+
+(* Levels for bound descent: [levels.(k)] only constrains dims 0..k. *)
+let cascade t =
+  let n = Space.dim t.space in
+  let levels = Array.make (max n 1) (simplify t) in
+  if n = 0 then levels
+  else begin
+    levels.(n - 1) <- simplify t;
+    for k = n - 1 downto 1 do
+      levels.(k - 1) <- eliminate_one ~tighten:true levels.(k) (Space.name t.space k)
+    done;
+    levels
+  end
+
+type bound = { mutable lo : Q.t option; mutable hi : Q.t option; mutable feasible : bool }
+
+(* Candidate integer values for dim [k] of [level] under the partial
+   assignment [vals] (indices < k assigned). *)
+let dim_bounds level k vals =
+  let b = { lo = None; hi = None; feasible = true } in
+  let eval_rest a =
+    (* All coeffs at indices > k are zero at this level. *)
+    let acc = ref a.Aff.const in
+    for j = 0 to k - 1 do
+      if a.Aff.coeffs.(j) <> 0 then acc := C.add !acc (C.mul a.Aff.coeffs.(j) vals.(j))
+    done;
+    !acc
+  in
+  let tighten_lo q = match b.lo with Some l when Q.compare l q >= 0 -> () | _ -> b.lo <- Some q in
+  let tighten_hi q = match b.hi with Some h when Q.compare h q <= 0 -> () | _ -> b.hi <- Some q in
+  let handle_ge a =
+    let c = a.Aff.coeffs.(k) in
+    let v = eval_rest a in
+    if c = 0 then (if v < 0 then b.feasible <- false)
+    else
+      let q = Q.make (-v) c in
+      if c > 0 then tighten_lo q else tighten_hi q
+  in
+  let handle_eq a =
+    let c = a.Aff.coeffs.(k) in
+    let v = eval_rest a in
+    if c = 0 then (if v <> 0 then b.feasible <- false)
+    else begin
+      let q = Q.make (-v) c in
+      tighten_lo q;
+      tighten_hi q
+    end
+  in
+  List.iter handle_eq (eqs level);
+  List.iter handle_ge (ges level);
+  b
+
+let default_prefer _k candidates =
+  List.stable_sort (fun a b -> compare (abs a, a) (abs b, b)) candidates
+
+let range_list lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
+
+let candidates_of_bounds ~range b =
+  if not b.feasible then Some []
+  else
+    let lo = Option.map Q.ceil b.lo and hi = Option.map Q.floor b.hi in
+    match (lo, hi) with
+    | Some l, Some h -> if l > h then Some [] else Some (range_list l h)
+    | Some l, None -> Some (range_list l (l + (2 * range)))
+    | None, Some h -> Some (range_list (h - (2 * range)) h)
+    | None, None -> None (* fully unbounded *)
+
+let search ?(range = 64) ?(prefer = default_prefer) ~all ?(max_points = 1_000_000) t =
+  let n = Space.dim t.space in
+  let t = simplify t in
+  if is_obviously_empty t then []
+  else if n = 0 then [ [] ]
+  else begin
+    let levels = cascade t in
+    if Array.exists is_obviously_empty levels then []
+    else begin
+      let vals = Array.make n 0 in
+      let results = ref [] in
+      let count = ref 0 in
+      let exception Done in
+      let rec go k =
+        if k = n then begin
+          incr count;
+          if !count > max_points then failwith "Poly.enumerate: too many points";
+          results :=
+            List.init n (fun j -> (Space.name t.space j, vals.(j))) :: !results;
+          if not all then raise Done
+        end
+        else begin
+          let b = dim_bounds levels.(k) k vals in
+          let cands =
+            match candidates_of_bounds ~range b with
+            | Some c -> c
+            | None ->
+                if all then failwith ("Poly.enumerate: unbounded dimension " ^ Space.name t.space k)
+                else range_list (-range) range
+          in
+          let cands = if all then cands else prefer k cands in
+          List.iter (fun v -> vals.(k) <- v; go (k + 1)) cands
+        end
+      in
+      (try go 0 with Done -> ());
+      List.rev !results
+    end
+  end
+
+let sample ?range ?prefer t =
+  match search ?range ?prefer ~all:false t with [] -> None | p :: _ -> Some p
+
+let enumerate ?max_points t = search ~all:true ?max_points t
+
+let is_integrally_empty ?range t = sample ?range t = None
+
+let mem t lookup =
+  List.for_all (fun a -> Aff.eval a lookup = 0) t.eqs
+  && List.for_all (fun a -> Aff.eval a lookup >= 0) t.ges
+
+(* --- Set difference ----------------------------------------------------- *)
+
+let subtract p q =
+  if not (Space.equal p.space q.space) then invalid_arg "Poly.subtract: space mismatch";
+  let q = simplify q in
+  if is_obviously_empty q then [ p ]
+  else begin
+    (* Walk q's constraints; piece_i satisfies the first i-1 and violates the
+       i-th, giving disjoint pieces covering p \ q. Equalities contribute two
+       violation branches. *)
+    let pieces = ref [] in
+    let kept = ref p in
+    let add_piece piece =
+      let piece = simplify piece in
+      if not (is_obviously_empty piece || is_rationally_empty piece) then
+        pieces := piece :: !pieces
+    in
+    List.iter
+      (fun a ->
+        add_piece (add_ge !kept (Aff.add_const (Aff.neg a) (-1)));
+        kept := add_ge !kept a)
+      q.ges;
+    List.iter
+      (fun a ->
+        add_piece (add_ge !kept (Aff.add_const a (-1)));
+        add_piece (add_ge !kept (Aff.add_const (Aff.neg a) (-1)));
+        kept := add_eq !kept a)
+      q.eqs;
+    List.rev !pieces
+  end
+
+let affine_hull_eqs t = (simplify t).eqs
+
+let pp ppf t =
+  let pp_list sep ppf l =
+    Format.pp_print_list ~pp_sep:(fun ppf () -> Format.fprintf ppf "%s@ " sep) Aff.pp ppf l
+  in
+  Format.fprintf ppf "@[<hv>{ %a" Space.pp t.space;
+  if t.eqs <> [] then Format.fprintf ppf " :@ @[%a = 0@]" (pp_list " = 0, ") t.eqs;
+  if t.ges <> [] then
+    Format.fprintf ppf "%s@ @[%a >= 0@]" (if t.eqs = [] then " :" else ",") (pp_list " >= 0, ") t.ges;
+  Format.fprintf ppf " }@]"

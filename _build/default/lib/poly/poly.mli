@@ -1,0 +1,95 @@
+(** Basic (convex) integer polyhedra: conjunctions of affine equalities and
+    inequalities over a {!Space}.
+
+    The implementation is built on Fourier–Motzkin elimination with integer
+    tightening, plus recursive bound-descent for exact integer sampling and
+    enumeration.  Projections are rational relaxations (standard for
+    polyhedral dependence analysis); sampling and enumeration are exact. *)
+
+type t
+
+val space : t -> Space.t
+val universe : Space.t -> t
+val of_constraints : Space.t -> eqs:Aff.t list -> ges:Aff.t list -> t
+val eqs : t -> Aff.t list
+val ges : t -> Aff.t list
+
+val add_eq : t -> Aff.t -> t
+(** Constrain [aff = 0]. *)
+
+val add_ge : t -> Aff.t -> t
+(** Constrain [aff >= 0]. *)
+
+val add_gt : t -> Aff.t -> t
+(** Constrain [aff >= 1] (strict inequality on integers). *)
+
+val intersect : t -> t -> t
+(** Same space. *)
+
+val cast : Space.t -> t -> t
+(** Inject into a superspace (new dimensions unconstrained). *)
+
+val product : t -> t -> t
+(** Polyhedron over the concatenation of the two spaces. *)
+
+val simplify : ?tighten:bool -> t -> t
+(** Normalise constraints, drop duplicates and syntactic redundancies.
+    [tighten] (default [true]) applies integer tightening to inequalities. *)
+
+val is_obviously_empty : t -> bool
+(** Syntactic check after simplification (a constant constraint failed). *)
+
+val eliminate : ?tighten:bool -> t -> string list -> t
+(** Fourier–Motzkin elimination of the named dimensions (existential
+    projection; rational relaxation).  The space is unchanged; eliminated
+    dimensions become unconstrained.  [tighten] (default [true]) applies
+    integer tightening, valid when remaining dimensions are integers. *)
+
+val drop_dims : t -> string list -> t
+(** [eliminate] followed by removing the dimensions from the space. *)
+
+val fix_dims : t -> (string * int) list -> t
+(** Substitute integer values for dimensions and remove them from the space. *)
+
+val rename : t -> (string * string) list -> t
+
+val split_components : t -> t list
+(** Split into independent sub-polyhedra over the connected components of the
+    constraint graph (dimensions linked by a common constraint); constraints
+    mentioning no dimension form their own component over the empty space.
+    Emptiness and sampling factorise over the result. *)
+
+val is_rationally_empty : t -> bool
+(** No rational points (exact over the rationals; checked per connected
+    component). *)
+
+val is_integrally_empty : ?range:int -> t -> bool
+(** No integer points.  Exact when every dimension is bounded; otherwise
+    unbounded dimensions are searched within [±range] (default 64) after
+    rational emptiness has been ruled out, and the verdict "non-empty" from a
+    found sample is always exact. *)
+
+val sample : ?range:int -> ?prefer:(int -> int list -> int list) -> t -> (string * int) list option
+(** An integer point, as an assignment for every dimension of the space.
+    [prefer dimindex candidates] may reorder candidate values per dimension
+    (default: nearest-zero first).  [range] bounds the search on unbounded
+    dimensions (default 64). *)
+
+val enumerate : ?max_points:int -> t -> (string * int) list list
+(** All integer points.  Every dimension must be bounded.
+    @raise Failure if a dimension is unbounded or [max_points] (default
+    1_000_000) is exceeded. *)
+
+val mem : t -> (string -> int) -> bool
+(** Does the assignment satisfy every constraint? *)
+
+val subtract : t -> t -> t list
+(** [subtract p q] is a list of disjoint basic polyhedra whose union is
+    [p \ q] (over the integers). *)
+
+val affine_hull_eqs : t -> Aff.t list
+(** The equality constraints of the simplified polyhedron (a subset of the
+    true affine hull; exact for the systems produced by this library's
+    analysis where equalities are stated explicitly). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,117 @@
+module Q = Riot_base.Q
+
+(* A monomial is a sorted list of (variable, positive exponent). *)
+module Mono = struct
+  type t = (string * int) list
+
+  let compare = Stdlib.compare
+
+  let mul (a : t) (b : t) : t =
+    let rec go a b =
+      match (a, b) with
+      | [], m | m, [] -> m
+      | (va, ea) :: ra, (vb, eb) :: rb ->
+          if va = vb then (va, ea + eb) :: go ra rb
+          else if va < vb then (va, ea) :: go ra b
+          else (vb, eb) :: go a rb
+    in
+    go a b
+
+  let degree (t : t) = List.fold_left (fun acc (_, e) -> acc + e) 0 t
+end
+
+module M = Map.Make (Mono)
+
+type t = Q.t M.t
+
+let normalise m = M.filter (fun _ c -> not (Q.is_zero c)) m
+let zero = M.empty
+let const q = if Q.is_zero q then zero else M.singleton [] q
+let of_int n = const (Q.of_int n)
+let one = of_int 1
+let var v = M.singleton [ (v, 1) ] Q.one
+
+let add a b =
+  normalise
+    (M.union (fun _ ca cb -> Some (Q.add ca cb)) a b)
+
+let scale q a = normalise (M.map (Q.mul q) a)
+let sub a b = add a (scale Q.minus_one b)
+
+let mul a b =
+  M.fold
+    (fun ma ca acc ->
+      M.fold
+        (fun mb cb acc ->
+          let m = Mono.mul ma mb in
+          let c = Q.mul ca cb in
+          M.update m
+            (function None -> Some c | Some c0 -> Some (Q.add c0 c))
+            acc)
+        b acc)
+    a M.empty
+  |> normalise
+
+let of_aff (a : Aff.t) =
+  let p = ref (of_int a.Aff.const) in
+  Array.iteri
+    (fun i c ->
+      if c <> 0 then
+        p := add !p (scale (Q.of_int c) (var (Space.name a.Aff.space i))))
+    a.Aff.coeffs;
+  !p
+
+let eval t lookup =
+  M.fold
+    (fun m c acc ->
+      let v =
+        List.fold_left
+          (fun acc (name, e) ->
+            let x = Q.of_int (lookup name) in
+            let rec pow acc n = if n = 0 then acc else pow (Q.mul acc x) (n - 1) in
+            pow acc e)
+          Q.one m
+      in
+      Q.add acc (Q.mul c v))
+    t Q.zero
+
+let eval_int_exn t lookup =
+  let q = eval t lookup in
+  if Q.is_integer q then Q.to_int_exn q
+  else invalid_arg "Polynomial.eval_int_exn: non-integer value"
+
+let equal a b = M.equal Q.equal (normalise a) (normalise b)
+let is_zero t = M.is_empty (normalise t)
+let degree t = M.fold (fun m _ acc -> max acc (Mono.degree m)) t 0
+
+let variables t =
+  M.fold (fun m _ acc -> List.map fst m @ acc) t [] |> List.sort_uniq compare
+
+let compare_at a b lookup = Q.compare (eval a lookup) (eval b lookup)
+
+let pp ppf t =
+  let mono_str m =
+    String.concat "*"
+      (List.map
+         (fun (v, e) -> if e = 1 then v else Printf.sprintf "%s^%d" v e)
+         m)
+  in
+  if M.is_empty t then Format.pp_print_string ppf "0"
+  else begin
+    let first = ref true in
+    M.iter
+      (fun m c ->
+        let s = Q.sign c in
+        if !first then begin
+          if s < 0 then Format.pp_print_string ppf "-";
+          first := false
+        end
+        else Format.pp_print_string ppf (if s < 0 then " - " else " + ");
+        let ac = Q.abs c in
+        if m = [] then Format.fprintf ppf "%a" Q.pp ac
+        else if Q.equal ac Q.one then Format.pp_print_string ppf (mono_str m)
+        else Format.fprintf ppf "%a*%s" Q.pp ac (mono_str m))
+      t
+  end
+
+let to_string t = Format.asprintf "%a" pp t

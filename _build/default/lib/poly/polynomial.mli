@@ -1,0 +1,37 @@
+(** Multivariate polynomials with rational coefficients over named
+    variables (the program parameters).
+
+    The paper's Section 5.4 remark: a schedule's I/O cost and memory
+    requirement are polynomials in the global parameters, computed once per
+    program template and re-evaluated as sizes change.  This module is the
+    carrier for those formulas; {!Count} produces them from parametric
+    polyhedra. *)
+
+type t
+
+val zero : t
+val one : t
+val const : Riot_base.Q.t -> t
+val of_int : int -> t
+val var : string -> t
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val scale : Riot_base.Q.t -> t -> t
+
+val of_aff : Aff.t -> t
+(** Inclusion of an affine form (its space dimensions become variables). *)
+
+val eval : t -> (string -> int) -> Riot_base.Q.t
+val eval_int_exn : t -> (string -> int) -> int
+(** @raise Invalid_argument when the value is not an integer. *)
+
+val equal : t -> t -> bool
+val is_zero : t -> bool
+val degree : t -> int
+val variables : t -> string list
+val compare_at : t -> t -> (string -> int) -> int
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,88 @@
+type t = { space : Space.t; disjuncts : Poly.t list }
+
+let space t = t.space
+let empty space = { space; disjuncts = [] }
+let of_poly p = { space = Poly.space p; disjuncts = [ p ] }
+
+let of_polys space disjuncts =
+  List.iter
+    (fun p ->
+      if not (Space.equal (Poly.space p) space) then
+        invalid_arg "Union.of_polys: space mismatch")
+    disjuncts;
+  { space; disjuncts }
+
+let disjuncts t = t.disjuncts
+
+let check a b = if not (Space.equal a.space b.space) then invalid_arg "Union: space mismatch"
+
+let union a b =
+  check a b;
+  { a with disjuncts = a.disjuncts @ b.disjuncts }
+
+let intersect_poly t p =
+  { t with disjuncts = List.map (fun d -> Poly.intersect d p) t.disjuncts }
+
+let intersect a b =
+  check a b;
+  { a with
+    disjuncts =
+      List.concat_map (fun da -> List.map (Poly.intersect da) b.disjuncts) a.disjuncts }
+
+let subtract a b =
+  check a b;
+  let sub_poly d = List.fold_left (fun ds q -> List.concat_map (fun d -> Poly.subtract d q) ds) [ d ] b.disjuncts in
+  { a with disjuncts = List.concat_map sub_poly a.disjuncts }
+
+let map f t = { t with disjuncts = List.map f t.disjuncts }
+let add_eq t aff = map (fun d -> Poly.add_eq d aff) t
+let add_ge t aff = map (fun d -> Poly.add_ge d aff) t
+let eliminate t names = map (fun d -> Poly.eliminate d names) t
+
+let drop_dims t names =
+  { space = Space.remove t.space names;
+    disjuncts = List.map (fun d -> Poly.drop_dims d names) t.disjuncts }
+
+let fix_dims t assignments =
+  { space = Space.remove t.space (List.map fst assignments);
+    disjuncts = List.map (fun d -> Poly.fix_dims d assignments) t.disjuncts }
+
+let rename t mapping =
+  let rn n = match List.assoc_opt n mapping with Some m -> m | None -> n in
+  { space = Space.of_names (List.map rn (Space.names t.space));
+    disjuncts = List.map (fun d -> Poly.rename d mapping) t.disjuncts }
+
+let cast space t = { space; disjuncts = List.map (Poly.cast space) t.disjuncts }
+let is_empty ?range t = List.for_all (Poly.is_integrally_empty ?range) t.disjuncts
+
+let sample ?range t =
+  List.find_map (Poly.sample ?range) t.disjuncts
+
+let enumerate ?max_points t =
+  let seen = Hashtbl.create 64 in
+  List.concat_map
+    (fun d ->
+      List.filter
+        (fun pt ->
+          if Hashtbl.mem seen pt then false
+          else begin
+            Hashtbl.add seen pt ();
+            true
+          end)
+        (Poly.enumerate ?max_points d))
+    t.disjuncts
+
+let mem t lookup = List.exists (fun d -> Poly.mem d lookup) t.disjuncts
+
+let coalesce t =
+  { t with disjuncts = List.filter (fun d -> not (Poly.is_integrally_empty d)) t.disjuncts }
+
+let pp ppf t =
+  match t.disjuncts with
+  | [] -> Format.fprintf ppf "{ %a : false }" Space.pp t.space
+  | ds ->
+      Format.fprintf ppf "@[<v>%a@]"
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ U ")
+           Poly.pp)
+        ds

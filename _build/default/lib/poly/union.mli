@@ -1,0 +1,40 @@
+(** Finite unions of basic polyhedra in a common space.
+
+    Extent polyhedra of co-accesses are unions: the lexicographic "executes
+    before" condition is a disjunction over depths, and the
+    no-write-in-between pruning subtracts sets. *)
+
+type t
+
+val space : t -> Space.t
+val empty : Space.t -> t
+val of_poly : Poly.t -> t
+val of_polys : Space.t -> Poly.t list -> t
+val disjuncts : t -> Poly.t list
+
+val union : t -> t -> t
+val intersect : t -> t -> t
+val intersect_poly : t -> Poly.t -> t
+val subtract : t -> t -> t
+
+val add_eq : t -> Aff.t -> t
+val add_ge : t -> Aff.t -> t
+
+val eliminate : t -> string list -> t
+val drop_dims : t -> string list -> t
+val fix_dims : t -> (string * int) list -> t
+val rename : t -> (string * string) list -> t
+val cast : Space.t -> t -> t
+
+val is_empty : ?range:int -> t -> bool
+val sample : ?range:int -> t -> (string * int) list option
+
+val enumerate : ?max_points:int -> t -> (string * int) list list
+(** All integer points, duplicates across overlapping disjuncts removed. *)
+
+val mem : t -> (string -> int) -> bool
+
+val coalesce : t -> t
+(** Drop disjuncts without integer points. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/storage/backend.ml: Buffer Bytes Filename Hashtbl Io_stats Option Sys Unix

@@ -1,0 +1,1 @@
+lib/storage/backend.mli: Io_stats

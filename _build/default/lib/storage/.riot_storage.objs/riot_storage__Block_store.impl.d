@@ -1,0 +1,1 @@
+lib/storage/block_store.ml: Array Bytes Daf Int64 Lab_tree Riot_ir

@@ -1,0 +1,1 @@
+lib/storage/daf.ml: Array Backend Bytes List Riot_ir

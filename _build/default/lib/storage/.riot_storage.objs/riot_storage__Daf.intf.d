@@ -1,0 +1,1 @@
+lib/storage/daf.mli: Backend Riot_ir

@@ -1,0 +1,1 @@
+lib/storage/lab_tree.ml: Backend Bytes Daf Hashtbl Int64 List Riot_ir

@@ -1,0 +1,1 @@
+lib/storage/lab_tree.mli: Backend Riot_ir

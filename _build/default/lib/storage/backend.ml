@@ -1,0 +1,169 @@
+type t = {
+  pread : name:string -> off:int -> len:int -> bytes;
+  pwrite : name:string -> off:int -> data:bytes -> unit;
+  read_discard : name:string -> off:int -> len:int -> unit;
+  write_discard : name:string -> off:int -> len:int -> unit;
+  size : name:string -> int;
+  sync : unit -> unit;
+  close : unit -> unit;
+  stats : Io_stats.t;
+}
+
+(* --- File backend -------------------------------------------------------- *)
+
+let rec mkdir_p dir =
+  if dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  end
+
+let file ~root =
+  mkdir_p root;
+  let stats = Io_stats.create () in
+  let fds : (string, Unix.file_descr) Hashtbl.t = Hashtbl.create 8 in
+  let fd_of name =
+    match Hashtbl.find_opt fds name with
+    | Some fd -> fd
+    | None ->
+        let path = Filename.concat root name in
+        let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT ] 0o644 in
+        Hashtbl.add fds name fd;
+        fd
+  in
+  let pread ~name ~off ~len =
+    let fd = fd_of name in
+    let buf = Bytes.make len '\000' in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec fill pos =
+      if pos < len then begin
+        let n = Unix.read fd buf pos (len - pos) in
+        if n = 0 then () (* reading past EOF yields zeroes *) else fill (pos + n)
+      end
+    in
+    fill 0;
+    Io_stats.add_read stats len;
+    buf
+  in
+  let pwrite ~name ~off ~data =
+    let fd = fd_of name in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let len = Bytes.length data in
+    let rec drain pos =
+      if pos < len then begin
+        let n = Unix.write fd data pos (len - pos) in
+        drain (pos + n)
+      end
+    in
+    drain 0;
+    Io_stats.add_write stats len
+  in
+  let scratch = Bytes.create 65536 in
+  let read_discard ~name ~off ~len =
+    let fd = fd_of name in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec chew remaining =
+      if remaining > 0 then begin
+        let n = Unix.read fd scratch 0 (min remaining (Bytes.length scratch)) in
+        if n > 0 then chew (remaining - n)
+      end
+    in
+    chew len;
+    Io_stats.add_read stats len
+  in
+  let write_discard ~name ~off ~len =
+    let fd = fd_of name in
+    ignore (Unix.lseek fd off Unix.SEEK_SET);
+    let rec fill remaining =
+      if remaining > 0 then begin
+        let chunk = min remaining (Bytes.length scratch) in
+        let n = Unix.write fd scratch 0 chunk in
+        fill (remaining - n)
+      end
+    in
+    fill len;
+    Io_stats.add_write stats len
+  in
+  let size ~name = (Unix.fstat (fd_of name)).Unix.st_size in
+  let sync () = Hashtbl.iter (fun _ fd -> Unix.fsync fd) fds in
+  let close () =
+    Hashtbl.iter (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
+    Hashtbl.reset fds
+  in
+  { pread; pwrite; read_discard; write_discard; size; sync; close; stats }
+
+(* --- Simulated backend --------------------------------------------------- *)
+
+let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
+  let stats = Io_stats.create () in
+  (* Each name maps to its current size and, when retaining, its contents. *)
+  let sizes : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let contents : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
+  let buffer_of name =
+    match Hashtbl.find_opt contents name with
+    | Some b -> b
+    | None ->
+        let b = Buffer.create 4096 in
+        Hashtbl.add contents name b;
+        b
+  in
+  let cur_size name = Option.value ~default:0 (Hashtbl.find_opt sizes name) in
+  let pread ~name ~off ~len =
+    stats.Io_stats.virtual_time <-
+      stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
+    Io_stats.add_read stats len;
+    if retain_data then begin
+      let b = buffer_of name in
+      let have = Buffer.length b in
+      let out = Bytes.make len '\000' in
+      let avail = max 0 (min len (have - off)) in
+      if avail > 0 then Bytes.blit (Buffer.to_bytes b) off out 0 avail;
+      out
+    end
+    else Bytes.make len '\000'
+  in
+  let pwrite ~name ~off ~data =
+    let len = Bytes.length data in
+    stats.Io_stats.virtual_time <-
+      stats.Io_stats.virtual_time +. (float_of_int len /. write_bw) +. request_overhead;
+    Io_stats.add_write stats len;
+    Hashtbl.replace sizes name (max (cur_size name) (off + len));
+    if retain_data then begin
+      let b = buffer_of name in
+      (* Extend with zeroes to [off], then splice. Buffer has no random
+         write, so rebuild when overwriting the middle. *)
+      if Buffer.length b = off then Buffer.add_bytes b data
+      else if Buffer.length b < off then begin
+        Buffer.add_bytes b (Bytes.make (off - Buffer.length b) '\000');
+        Buffer.add_bytes b data
+      end
+      else begin
+        let old = Buffer.to_bytes b in
+        let newlen = max (Bytes.length old) (off + len) in
+        let merged = Bytes.make newlen '\000' in
+        Bytes.blit old 0 merged 0 (Bytes.length old);
+        Bytes.blit data 0 merged off len;
+        Buffer.clear b;
+        Buffer.add_bytes b merged
+      end
+    end
+  in
+  let read_discard ~name ~off ~len =
+    ignore name;
+    ignore off;
+    stats.Io_stats.virtual_time <-
+      stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
+    Io_stats.add_read stats len
+  in
+  let write_discard ~name ~off ~len =
+    stats.Io_stats.virtual_time <-
+      stats.Io_stats.virtual_time +. (float_of_int len /. write_bw) +. request_overhead;
+    Io_stats.add_write stats len;
+    Hashtbl.replace sizes name (max (cur_size name) (off + len))
+  in
+  let size ~name = cur_size name in
+  let sync () = () in
+  let close () =
+    Hashtbl.reset sizes;
+    Hashtbl.reset contents
+  in
+  { pread; pwrite; read_discard; write_discard; size; sync; close; stats }

@@ -1,0 +1,43 @@
+(** Storage backends: where bytes live.
+
+    A backend exposes positional reads and writes over named byte streams
+    ("files").  Two implementations:
+
+    - {!file}: real files under a root directory via [Unix] positional I/O -
+      used at reduced scale to validate that plans compute correct results
+      and that counted I/Os match the model;
+    - {!sim}: a simulated disk with the paper's bandwidth model - used at
+      full scale, where datasets are tens of GB.  It advances a virtual
+      clock by [bytes/bandwidth + request overhead] and can optionally
+      retain data in memory (for small correctness runs without touching
+      the filesystem). *)
+
+type t = {
+  pread : name:string -> off:int -> len:int -> bytes;
+  pwrite : name:string -> off:int -> data:bytes -> unit;
+  read_discard : name:string -> off:int -> len:int -> unit;
+      (** Perform/account the read without materialising the bytes (the
+          simulated backend only advances counters; the file backend reads
+          into a small scratch buffer).  Used by phantom execution at full
+          scale, where a block can be gigabytes. *)
+  write_discard : name:string -> off:int -> len:int -> unit;
+      (** Account a write of [len] zero bytes without allocating them. *)
+  size : name:string -> int;
+  sync : unit -> unit;
+  close : unit -> unit;
+  stats : Io_stats.t;
+}
+
+val file : root:string -> t
+(** Files live under [root] (created if missing). *)
+
+val sim :
+  ?retain_data:bool ->
+  read_bw:float ->
+  write_bw:float ->
+  request_overhead:float ->
+  unit ->
+  t
+(** [retain_data] (default true) keeps written bytes in memory so reads
+    return real data; with [false] reads return zeroes and only the clock
+    and counters advance (full-scale mode). *)

@@ -1,0 +1,43 @@
+module Config = Riot_ir.Config
+
+type format = Daf_format | Lab_format
+type impl = D of Daf.t | L of Lab_tree.t
+type t = { name : string; layout : Config.layout; impl : impl }
+
+let create backend ~format ~name ~layout =
+  let impl =
+    match format with
+    | Daf_format -> D (Daf.create backend ~name ~layout)
+    | Lab_format -> L (Lab_tree.create backend ~name ~layout)
+  in
+  { name; layout; impl }
+
+let name t = t.name
+let layout t = t.layout
+let block_bytes t = Config.block_bytes t.layout
+
+let read_block t index =
+  match t.impl with D d -> Daf.read_block d index | L l -> Lab_tree.read_block l index
+
+let write_block t index data =
+  match t.impl with
+  | D d -> Daf.write_block d index data
+  | L l -> Lab_tree.write_block l index data
+
+let touch_read t index =
+  match t.impl with D d -> Daf.touch_read d index | L l -> Lab_tree.touch_read l index
+
+let touch_write t index =
+  match t.impl with D d -> Daf.touch_write d index | L l -> Lab_tree.touch_write l index
+
+let floats_of_bytes b =
+  let n = Bytes.length b / 8 in
+  Array.init n (fun i -> Int64.float_of_bits (Bytes.get_int64_le b (i * 8)))
+
+let bytes_of_floats a =
+  let b = Bytes.create (Array.length a * 8) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (i * 8) (Int64.bits_of_float v)) a;
+  b
+
+let read_floats t index = floats_of_bytes (read_block t index)
+let write_floats t index a = write_block t index (bytes_of_floats a)

@@ -1,0 +1,25 @@
+(** Uniform view over the two storage formats, keyed by array name. *)
+
+type format = Daf_format | Lab_format
+
+type t
+
+val create :
+  Backend.t -> format:format -> name:string -> layout:Riot_ir.Config.layout -> t
+
+val name : t -> string
+val layout : t -> Riot_ir.Config.layout
+val block_bytes : t -> int
+
+val read_block : t -> int list -> bytes
+val write_block : t -> int list -> bytes -> unit
+
+val touch_read : t -> int list -> unit
+(** Account the block read without materialising bytes (phantom mode). *)
+
+val touch_write : t -> int list -> unit
+
+val read_floats : t -> int list -> float array
+val write_floats : t -> int list -> float array -> unit
+(** Payloads as double-precision arrays (the element type used throughout
+    the experiments). *)

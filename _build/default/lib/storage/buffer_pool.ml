@@ -1,0 +1,142 @@
+type key = string * int list
+
+type buffer = {
+  data : float array;
+  bytes : int;
+  store : Block_store.t;
+  index : int list;
+  mutable dirty : bool;
+  mutable pins : int;
+  mutable last_used : int;
+}
+
+type t = {
+  cap : int;
+  phantom : bool;
+  buffers : (key, buffer) Hashtbl.t;
+  mutable used : int;
+  mutable peak : int;
+  mutable clock : int;
+}
+
+exception Insufficient_memory of string
+
+let create ?(phantom = false) ~cap_bytes () =
+  { cap = cap_bytes; phantom; buffers = Hashtbl.create 64; used = 0; peak = 0; clock = 0 }
+
+let tick t =
+  t.clock <- t.clock + 1;
+  t.clock
+
+let key_of store index = (Block_store.name store, index)
+
+let flush_buffer ~phantom b =
+  if b.dirty then begin
+    if phantom then Block_store.touch_write b.store b.index
+    else Block_store.write_floats b.store b.index b.data;
+    b.dirty <- false
+  end
+
+let evict_one t =
+  (* LRU among unpinned. *)
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k b ->
+      if b.pins = 0 then
+        match !victim with
+        | Some (_, vb) when vb.last_used <= b.last_used -> ()
+        | _ -> victim := Some (k, b))
+    t.buffers;
+  match !victim with
+  | None -> false
+  | Some (k, b) ->
+      flush_buffer ~phantom:t.phantom b;
+      Hashtbl.remove t.buffers k;
+      t.used <- t.used - b.bytes;
+      true
+
+let make_room t need =
+  let rec go () =
+    if t.used + need <= t.cap then ()
+    else if evict_one t then go ()
+    else
+      raise
+        (Insufficient_memory
+           (Printf.sprintf "need %d bytes, %d used of %d cap, all pinned" need t.used t.cap))
+  in
+  go ()
+
+let install t store index data =
+  let bytes = Block_store.block_bytes store in
+  make_room t bytes;
+  let b =
+    { data; bytes; store; index; dirty = false; pins = 0; last_used = tick t }
+  in
+  Hashtbl.replace t.buffers (key_of store index) b;
+  t.used <- t.used + bytes;
+  if t.used > t.peak then t.peak <- t.used;
+  b
+
+let get_gen ~load t store index =
+  match Hashtbl.find_opt t.buffers (key_of store index) with
+  | Some b ->
+      b.last_used <- tick t;
+      b.data
+  | None ->
+      let data =
+        if t.phantom then begin
+          if load then Block_store.touch_read store index;
+          [||]
+        end
+        else if load then Block_store.read_floats store index
+        else Array.make (Block_store.block_bytes store / 8) 0.
+      in
+      (install t store index data).data
+
+let get t store index = get_gen ~load:true t store index
+let get_for_write t store index = get_gen ~load:false t store index
+let contains t k = Hashtbl.mem t.buffers k
+
+let pin t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b -> b.pins <- b.pins + 1
+  | None -> invalid_arg "Buffer_pool.pin: block not resident"
+
+let unpin t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b -> if b.pins > 0 then b.pins <- b.pins - 1
+  | None -> ()
+
+let mark_dirty t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b -> b.dirty <- true
+  | None -> invalid_arg "Buffer_pool.mark_dirty: block not resident"
+
+let write_through t store index =
+  match Hashtbl.find_opt t.buffers (key_of store index) with
+  | Some b ->
+      if t.phantom then Block_store.touch_write store index
+      else Block_store.write_floats store index b.data;
+      b.dirty <- false
+  | None -> invalid_arg "Buffer_pool.write_through: block not resident"
+
+let drop t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b when b.pins = 0 ->
+      Hashtbl.remove t.buffers k;
+      t.used <- t.used - b.bytes
+  | _ -> ()
+
+let drop_if_dead t k =
+  match Hashtbl.find_opt t.buffers k with
+  | Some b when b.pins = 0 && b.dirty ->
+      Hashtbl.remove t.buffers k;
+      t.used <- t.used - b.bytes
+  | _ -> ()
+
+let pin_count t k =
+  match Hashtbl.find_opt t.buffers k with Some b -> b.pins | None -> 0
+
+let used_bytes t = t.used
+let peak_bytes t = t.peak
+let flush_all t = Hashtbl.iter (fun _ b -> flush_buffer ~phantom:t.phantom b) t.buffers

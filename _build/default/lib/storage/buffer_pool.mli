@@ -1,0 +1,53 @@
+(** A memory-capped buffer pool with pinning and LRU replacement.
+
+    The execution engine keeps every block it touches in a pool buffer;
+    realized sharing opportunities pin blocks across their reuse interval so
+    they cannot be evicted.  Unpinned buffers are evicted LRU; dirty victims
+    are flushed through their store unless explicitly dropped (elided writes
+    of dead intermediate blocks). *)
+
+type t
+
+exception Insufficient_memory of string
+
+val create : ?phantom:bool -> cap_bytes:int -> unit -> t
+(** With [phantom] (default false) buffers hold no data: reads and writes
+    are accounted through the store ([touch_read]/[touch_write]) and memory
+    is tracked logically.  Used for full-scale simulated runs where a block
+    can be gigabytes. *)
+
+val get : t -> Block_store.t -> int list -> float array
+(** Return the block's buffer, reading through the store when absent
+    (counts I/O). @raise Insufficient_memory when the cap cannot be met. *)
+
+val get_for_write : t -> Block_store.t -> int list -> float array
+(** Like {!get} but a missing block is allocated zeroed without read I/O. *)
+
+val contains : t -> string * int list -> bool
+
+val pin : t -> string * int list -> unit
+(** Pin counts nest. @raise Invalid_argument if the block is not resident. *)
+
+val unpin : t -> string * int list -> unit
+
+val mark_dirty : t -> string * int list -> unit
+
+val write_through : t -> Block_store.t -> int list -> unit
+(** Write the buffer to the store now and mark it clean.
+    @raise Invalid_argument if absent. *)
+
+val drop : t -> string * int list -> unit
+(** Remove without flushing (dead data). No-op if absent; pinned blocks
+    cannot be dropped. *)
+
+val drop_if_dead : t -> string * int list -> unit
+(** Drop the buffer when it is unpinned and dirty: an elided write whose
+    consumers have all been served holds dead data that must never be
+    flushed by eviction. *)
+
+val pin_count : t -> string * int list -> int
+
+val used_bytes : t -> int
+val peak_bytes : t -> int
+val flush_all : t -> unit
+(** Flush every dirty buffer through its store. *)

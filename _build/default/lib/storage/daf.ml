@@ -1,0 +1,35 @@
+module Config = Riot_ir.Config
+
+type t = { backend : Backend.t; file : string; layout : Config.layout }
+
+let linear_index (layout : Config.layout) index =
+  let dims = Array.length layout.Config.grid in
+  if List.length index <> dims then invalid_arg "Daf: wrong subscript arity";
+  let lin = ref 0 and stride = ref 1 in
+  List.iteri
+    (fun d v ->
+      if v < 0 || v >= layout.Config.grid.(d) then
+        invalid_arg "Daf: block subscript outside grid";
+      lin := !lin + (v * !stride);
+      stride := !stride * layout.Config.grid.(d))
+    index;
+  !lin
+
+let create backend ~name ~layout = { backend; file = name ^ ".daf"; layout }
+
+let read_block t index =
+  let bb = Config.block_bytes t.layout in
+  t.backend.Backend.pread ~name:t.file ~off:(linear_index t.layout index * bb) ~len:bb
+
+let write_block t index data =
+  let bb = Config.block_bytes t.layout in
+  if Bytes.length data <> bb then invalid_arg "Daf: payload size mismatch";
+  t.backend.Backend.pwrite ~name:t.file ~off:(linear_index t.layout index * bb) ~data
+
+let touch_read t index =
+  let bb = Config.block_bytes t.layout in
+  t.backend.Backend.read_discard ~name:t.file ~off:(linear_index t.layout index * bb) ~len:bb
+
+let touch_write t index =
+  let bb = Config.block_bytes t.layout in
+  t.backend.Backend.write_discard ~name:t.file ~off:(linear_index t.layout index * bb) ~len:bb

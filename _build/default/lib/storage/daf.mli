@@ -1,0 +1,25 @@
+(** DAF - Directly Addressable File (one of RIOTStore's two formats).
+
+    Every element of a dense array has a predetermined position: block
+    subscripts are linearised in column-major order and the payload of block
+    [b] lives at [linear(b) * block_bytes] in one backing file.  No index
+    structure, no per-element keys. *)
+
+type t
+
+val create : Backend.t -> name:string -> layout:Riot_ir.Config.layout -> t
+
+val read_block : t -> int list -> bytes
+(** Unwritten blocks read as zeroes. *)
+
+val write_block : t -> int list -> bytes -> unit
+(** @raise Invalid_argument if the payload size differs from the block size
+    or the subscript is outside the grid. *)
+
+val touch_read : t -> int list -> unit
+(** Account the read without materialising the payload. *)
+
+val touch_write : t -> int list -> unit
+
+val linear_index : Riot_ir.Config.layout -> int list -> int
+(** Column-major linearisation (exposed for tests). *)

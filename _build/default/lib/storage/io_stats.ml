@@ -1,0 +1,32 @@
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable virtual_time : float;
+}
+
+let create () =
+  { reads = 0; writes = 0; bytes_read = 0; bytes_written = 0; virtual_time = 0. }
+
+let reset t =
+  t.reads <- 0;
+  t.writes <- 0;
+  t.bytes_read <- 0;
+  t.bytes_written <- 0;
+  t.virtual_time <- 0.
+
+let add_read t n =
+  t.reads <- t.reads + 1;
+  t.bytes_read <- t.bytes_read + n
+
+let add_write t n =
+  t.writes <- t.writes + 1;
+  t.bytes_written <- t.bytes_written + n
+
+let pp ppf t =
+  Format.fprintf ppf "reads=%d (%.1f MB) writes=%d (%.1f MB) vtime=%.2fs" t.reads
+    (float_of_int t.bytes_read /. 1048576.)
+    t.writes
+    (float_of_int t.bytes_written /. 1048576.)
+    t.virtual_time

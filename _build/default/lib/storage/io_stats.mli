@@ -1,0 +1,19 @@
+(** Mutable I/O counters shared by a backend and everything above it.
+
+    [virtual_time] is advanced by the simulated backend according to its
+    bandwidth model; the file backend leaves it at zero and wall-clock time
+    is measured by the caller instead. *)
+
+type t = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable bytes_read : int;
+  mutable bytes_written : int;
+  mutable virtual_time : float;  (** seconds *)
+}
+
+val create : unit -> t
+val reset : t -> unit
+val add_read : t -> int -> unit
+val add_write : t -> int -> unit
+val pp : Format.formatter -> t -> unit

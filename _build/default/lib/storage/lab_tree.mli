@@ -1,0 +1,36 @@
+(** LAB-tree - Linearized Array B-tree (RIOTStore's indexed format).
+
+    Block subscripts are linearised (column-major) into integer keys and a
+    disk-paged B-tree maps each key to the extent holding the block payload.
+    Unlike DAF this supports sparse population and dynamic growth; for dense
+    matrices both behave virtually identically (the paper's observation).
+
+    Layout of the single backing file (page size 4096):
+    - page 0: meta (magic, root page id, next free page);
+    - tree pages: leaves hold (key, payload offset, payload length) triples,
+      internal nodes hold separator keys and child page ids;
+    - payload extents: bump-allocated, page-aligned.
+
+    Tree pages are cached in memory once touched (they are a negligible
+    fraction of the payload I/O, as in the real system); payload reads and
+    writes always hit the backend. *)
+
+type t
+
+val create : Backend.t -> name:string -> layout:Riot_ir.Config.layout -> t
+
+val read_block : t -> int list -> bytes
+(** Unwritten blocks read as zeroes. *)
+
+val write_block : t -> int list -> bytes -> unit
+
+val touch_read : t -> int list -> unit
+(** Account the payload read (tree pages are still genuinely accessed). *)
+
+val touch_write : t -> int list -> unit
+
+val block_count : t -> int
+(** Number of distinct blocks currently stored (exposed for tests). *)
+
+val depth : t -> int
+(** Height of the tree (root = 1; exposed for tests). *)

@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest List Printf Riot_analysis Riot_ir Riot_ops

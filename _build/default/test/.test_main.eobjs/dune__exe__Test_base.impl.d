@@ -1,0 +1,1 @@
+test/test_base.ml: Alcotest Float List QCheck QCheck_alcotest Riot_base

@@ -1,0 +1,1 @@
+test/test_codegen.ml: Alcotest List Printf Riot_analysis Riot_codegen Riot_ir Riot_ops Riot_optimizer String

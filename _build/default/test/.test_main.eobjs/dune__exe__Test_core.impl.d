@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Lazy List Printf Riot_analysis Riot_exec Riot_ir Riot_ops Riot_optimizer Riot_storage Riotshare

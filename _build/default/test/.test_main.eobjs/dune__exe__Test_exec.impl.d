@@ -1,0 +1,1 @@
+test/test_exec.ml: Alcotest Array Lazy List Printf Random Riot_analysis Riot_exec Riot_ir Riot_kernels Riot_ops Riot_optimizer Riot_plan Riot_storage

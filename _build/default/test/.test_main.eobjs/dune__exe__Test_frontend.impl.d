@@ -1,0 +1,1 @@
+test/test_frontend.ml: Alcotest Array List Riot_analysis Riot_frontend Riot_ir Riot_ops Riot_plan Riotshare

@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest List Option Riot_analysis Riot_ir Riot_ops Riot_optimizer Riot_poly Riotshare

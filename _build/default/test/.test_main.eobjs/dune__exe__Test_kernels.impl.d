@@ -1,0 +1,1 @@
+test/test_kernels.ml: Alcotest Array Gen List Printf QCheck QCheck_alcotest Random Riot_kernels Test

@@ -1,0 +1,1 @@
+test/test_linalg.ml: Alcotest Array Gen List QCheck QCheck_alcotest Riot_base Riot_linalg

@@ -1,0 +1,1 @@
+test/test_optimizer.ml: Alcotest Array List Printf Riot_analysis Riot_ir Riot_ops Riot_optimizer Riot_poly

@@ -1,0 +1,1 @@
+test/test_plan.ml: Alcotest Array Lazy List Printf Riot_analysis Riot_ir Riot_ops Riot_optimizer Riot_plan Riot_poly

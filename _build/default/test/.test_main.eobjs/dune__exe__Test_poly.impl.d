@@ -1,0 +1,1 @@
+test/test_poly.ml: Alcotest Gen List Printf QCheck QCheck_alcotest Riot_base Riot_poly Test

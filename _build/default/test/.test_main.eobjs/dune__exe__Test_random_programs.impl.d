@@ -1,0 +1,1 @@
+test/test_random_programs.ml: List Printf QCheck QCheck_alcotest Random Riot_analysis Riot_exec Riot_ir Riot_optimizer Riot_plan Riot_storage

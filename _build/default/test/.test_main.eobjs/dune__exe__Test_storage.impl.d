@@ -1,0 +1,1 @@
+test/test_storage.ml: Alcotest Array Bytes Filename Int64 List Riot_ir Riot_storage Sys

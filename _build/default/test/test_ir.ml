@@ -1,0 +1,143 @@
+module B = Riot_ir.Build
+module Program = Riot_ir.Program
+module Stmt = Riot_ir.Stmt
+module Sched = Riot_ir.Sched
+module Config = Riot_ir.Config
+module Kernel = Riot_ir.Kernel
+module Access = Riot_ir.Access
+module Array_info = Riot_ir.Array_info
+module Poly = Riot_poly.Poly
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let simple_prog () =
+  B.program ~name:"p" ~params:[ "n" ]
+    ~arrays:
+      [ Array_info.make "A" ~ndims:1 ~kind:Array_info.Input;
+        Array_info.make "Bb" ~ndims:1 ~kind:Array_info.Output ]
+    [ B.for_ "i" ~lo:(B.cst 0) ~hi:(B.var "n")
+        [ B.stmt "s1" ~kernel:Kernel.Copy
+            ~accs:[ B.write "Bb" [ B.var "i" ]; B.read "A" [ B.var "i" ] ] ] ]
+
+let test_build_domains () =
+  let p = simple_prog () in
+  let s1 = Program.find_stmt p "s1" in
+  check_int "depth" 1 (Stmt.depth s1);
+  check_int "instances at n=5" 5 (List.length (Program.instances p s1 ~params:[ ("n", 5) ]));
+  check_int "instances at n=1" 1 (List.length (Program.instances p s1 ~params:[ ("n", 1) ]));
+  (* The parameter context (n >= 1) is folded into the domain. *)
+  check_bool "empty only when context violated" true
+    (Poly.is_integrally_empty (Poly.fix_dims s1.Stmt.domain [ ("n", 0) ]))
+
+let test_build_original_schedule () =
+  (* Two sibling nests and two statements in one body: the 2d+1 schedule
+     must order them textually. *)
+  let p =
+    B.program ~name:"p2" ~params:[ "n" ]
+      ~arrays:[ Array_info.make "A" ~ndims:1 ~kind:Array_info.Intermediate ]
+      [ B.for_ "i" ~lo:(B.cst 0) ~hi:(B.var "n")
+          [ B.stmt "sa" ~kernel:(Kernel.Opaque "a") ~accs:[ B.write "A" [ B.var "i" ] ];
+            B.stmt "sb" ~kernel:(Kernel.Opaque "b") ~accs:[ B.read "A" [ B.var "i" ] ] ];
+        B.stmt "sc" ~kernel:(Kernel.Opaque "c") ~accs:[ B.read "A" [ B.cst 0 ] ] ]
+  in
+  let time name inst =
+    Sched.time_of (Sched.find p.Program.original name) (fun v ->
+        match List.assoc_opt v inst with Some x -> x | None -> 3)
+  in
+  (* Within one iteration sa precedes sb; every (sa|sb) at i precedes them
+     at i+1; the second nest follows the first entirely. *)
+  check_bool "sa before sb same i" true
+    (Sched.lex_lt (time "sa" [ ("sa.i", 1) ]) (time "sb" [ ("sb.i", 1) ]));
+  check_bool "sb before sa next i" true
+    (Sched.lex_lt (time "sb" [ ("sb.i", 1) ]) (time "sa" [ ("sa.i", 2) ]));
+  check_bool "sc after all" true
+    (Sched.lex_lt (time "sb" [ ("sb.i", 2) ]) (time "sc" []))
+
+let test_build_errors () =
+  let arrays = [ Array_info.make "A" ~ndims:1 ~kind:Array_info.Input ] in
+  let expect f = try ignore (f ()); false with Invalid_argument _ -> true in
+  check_bool "unknown variable" true
+    (expect (fun () ->
+         B.program ~name:"x" ~params:[ "n" ] ~arrays
+           [ B.stmt "s" ~kernel:Kernel.Copy ~accs:[ B.read "A" [ B.var "q" ] ] ]));
+  check_bool "duplicate statement" true
+    (expect (fun () ->
+         B.program ~name:"x" ~params:[ "n" ] ~arrays
+           [ B.stmt "s" ~kernel:Kernel.Copy ~accs:[ B.read "A" [ B.cst 0 ] ];
+             B.stmt "s" ~kernel:Kernel.Copy ~accs:[ B.read "A" [ B.cst 0 ] ] ]));
+  check_bool "undeclared array" true
+    (expect (fun () ->
+         B.program ~name:"x" ~params:[ "n" ] ~arrays
+           [ B.stmt "s" ~kernel:Kernel.Copy ~accs:[ B.read "Z" [ B.cst 0 ] ] ]));
+  check_bool "wrong arity" true
+    (expect (fun () ->
+         B.program ~name:"x" ~params:[ "n" ] ~arrays
+           [ B.stmt "s" ~kernel:Kernel.Copy ~accs:[ B.read "A" [ B.cst 0; B.cst 0 ] ] ]));
+  check_bool "shadowed loop var" true
+    (expect (fun () ->
+         B.program ~name:"x" ~params:[ "n" ] ~arrays
+           [ B.for_ "i" ~lo:(B.cst 0) ~hi:(B.var "n")
+               [ B.for_ "i" ~lo:(B.cst 0) ~hi:(B.var "n")
+                   [ B.stmt "s" ~kernel:Kernel.Copy ~accs:[ B.read "A" [ B.var "i" ] ] ] ] ]))
+
+let test_sched_lex () =
+  check_bool "shorter padded" true (Sched.lex_lt [| 1; 0 |] [| 1; 0; 5 |]);
+  check_bool "equal padded" true (Sched.lex_compare [| 1; 0 |] [| 1; 0; 0 |] = 0);
+  check_bool "first dim decides" true (Sched.lex_lt [| 0; 9; 9 |] [| 1 |]);
+  check_int "reflexive" 0 (Sched.lex_compare [| 2; 2 |] [| 2; 2 |])
+
+let test_config () =
+  let l = { Config.grid = [| 3; 4 |]; block_elems = [| 10; 20 |]; elem_size = 8 } in
+  check_int "block bytes" (10 * 20 * 8) (Config.block_bytes l);
+  check_int "block count" 12 (Config.block_count l);
+  check_int "total" (12 * 1600) (Config.total_bytes l);
+  let cfg = Config.make ~params:[ ("n", 3) ] ~layouts:[ ("A", l) ] in
+  check_int "param" 3 (Config.param cfg "n");
+  let cfg2 = Config.matrix cfg "Bb" ~block_rows:5 ~block_cols:6 ~grid_rows:2 ~grid_cols:2 in
+  check_int "matrix helper" (5 * 6 * 8) (Config.block_bytes (Config.layout cfg2 "Bb"))
+
+let test_access_helpers () =
+  let p = simple_prog () in
+  let s1 = Program.find_stmt p "s1" in
+  let w = Option.get (Stmt.write_access s1) in
+  check_bool "write access" true (Access.is_write w);
+  check_int "operand reads" 1 (List.length (Stmt.operand_reads s1));
+  check_bool "block eval" true
+    (Access.block_of w (fun v -> if v = "s1.i" then 3 else 7) = [| 3 |])
+
+let test_pig_pipeline_analysis () =
+  let prog = Riot_ops.Programs.pig_pipeline () in
+  let r = Riot_analysis.Deps.extract prog ~ref_params:[ ("m", 3); ("n", 2) ] in
+  let labels =
+    List.sort_uniq compare (List.map Riot_analysis.Coaccess.label r.Riot_analysis.Deps.sharing)
+  in
+  Alcotest.(check (list string)) "pig sharing structure"
+    [ "s1.W.F -> s2.R.F"; "s2.W.G -> s3.R.G"; "s3.R.G -> s3.R.G"; "s3.R.S -> s3.R.S" ]
+    labels
+
+let test_pig_pipeline_best_plan () =
+  let prog = Riot_ops.Programs.pig_pipeline () in
+  let opt = Riotshare.Api.optimize prog ~config:Riot_ops.Programs.pig_config in
+  let best = Riotshare.Api.best opt in
+  let plan0 = Riotshare.Api.original opt in
+  check_bool "join pipeline saves I/O" true
+    (best.Riotshare.Api.predicted_io_seconds
+    < 0.75 *. plan0.Riotshare.Api.predicted_io_seconds);
+  (* The filtered/transformed tables are pipelined into the join. *)
+  let lbls =
+    List.map Riot_analysis.Coaccess.label
+      best.Riotshare.Api.plan.Riot_optimizer.Search.q
+  in
+  check_bool "FILTER feeds FOREACH in memory" true (List.mem "s1.W.F -> s2.R.F" lbls)
+
+let suite =
+  ( "ir",
+    [ Alcotest.test_case "build domains" `Quick test_build_domains;
+      Alcotest.test_case "original schedule order" `Quick test_build_original_schedule;
+      Alcotest.test_case "builder errors" `Quick test_build_errors;
+      Alcotest.test_case "lexicographic time" `Quick test_sched_lex;
+      Alcotest.test_case "config" `Quick test_config;
+      Alcotest.test_case "access helpers" `Quick test_access_helpers;
+      Alcotest.test_case "pig pipeline analysis" `Quick test_pig_pipeline_analysis;
+      Alcotest.test_case "pig pipeline best plan" `Quick test_pig_pipeline_best_plan ] )

@@ -1,0 +1,137 @@
+module Dense = Riot_kernels.Dense
+
+let check_bool = Alcotest.(check bool)
+
+let close ?(eps = 1e-9) a b =
+  Array.length a = Array.length b
+  && Array.for_all2 (fun x y -> abs_float (x -. y) <= eps *. (1. +. abs_float x)) a b
+
+(* Naive reference multiply with explicit index arithmetic. *)
+let ref_gemm ~ta ~tb ~m ~n ~k a b =
+  let c = Array.make (m * n) 0. in
+  for i = 0 to m - 1 do
+    for j = 0 to n - 1 do
+      let acc = ref 0. in
+      for l = 0 to k - 1 do
+        let av = if ta then a.((l * m) + i) else a.((i * k) + l) in
+        let bv = if tb then b.((j * k) + l) else b.((l * n) + j) in
+        acc := !acc +. (av *. bv)
+      done;
+      c.((i * n) + j) <- !acc
+    done
+  done;
+  c
+
+let rand_array st n = Array.init n (fun _ -> Random.State.float st 2. -. 1.)
+
+let test_gemm_all_transposes () =
+  let st = Random.State.make [| 42 |] in
+  List.iter
+    (fun (ta, tb) ->
+      let m = 3 and n = 4 and k = 5 in
+      let a = rand_array st (m * k) and b = rand_array st (k * n) in
+      let c = Array.make (m * n) 0. in
+      Dense.gemm ~accumulate:false ~ta ~tb ~m ~n ~k ~a ~b ~c;
+      check_bool
+        (Printf.sprintf "gemm ta=%b tb=%b" ta tb)
+        true
+        (close c (ref_gemm ~ta ~tb ~m ~n ~k a b)))
+    [ (false, false); (true, false); (false, true); (true, true) ]
+
+let test_gemm_accumulate () =
+  let st = Random.State.make [| 7 |] in
+  let m = 2 and n = 3 and k = 4 in
+  let a = rand_array st (m * k) and b = rand_array st (k * n) in
+  let c = Array.make (m * n) 1. in
+  Dense.gemm ~accumulate:true ~ta:false ~tb:false ~m ~n ~k ~a ~b ~c;
+  let expected =
+    Array.map (fun v -> v +. 1.) (ref_gemm ~ta:false ~tb:false ~m ~n ~k a b)
+  in
+  check_bool "accumulates" true (close c expected)
+
+let test_elementwise () =
+  let a = [| 1.; 2.; 3. |] and b = [| 10.; 20.; 30. |] in
+  let c = Array.make 3 0. in
+  Dense.add a b c;
+  check_bool "add" true (c = [| 11.; 22.; 33. |]);
+  Dense.sub b a c;
+  check_bool "sub" true (c = [| 9.; 18.; 27. |]);
+  Dense.copy ~src:a ~dst:c;
+  check_bool "copy" true (c = a);
+  Dense.scale 2. c;
+  check_bool "scale" true (c = [| 2.; 4.; 6. |]);
+  Dense.fill c 0.;
+  check_bool "fill" true (c = [| 0.; 0.; 0. |])
+
+let test_invert () =
+  let st = Random.State.make [| 11 |] in
+  let n = 6 in
+  (* Diagonally dominant: always invertible. *)
+  let a =
+    Array.init (n * n) (fun i ->
+        let r = i / n and c = i mod n in
+        if r = c then 10. +. Random.State.float st 1. else Random.State.float st 1.)
+  in
+  let inv = Array.make (n * n) 0. in
+  Dense.invert ~n a inv;
+  let prod = Array.make (n * n) 0. in
+  Dense.gemm ~accumulate:false ~ta:false ~tb:false ~m:n ~n ~k:n ~a ~b:inv ~c:prod;
+  let identity = Array.init (n * n) (fun i -> if i / n = i mod n then 1. else 0.) in
+  check_bool "A * A^-1 = I" true (close ~eps:1e-8 prod identity)
+
+let test_invert_singular () =
+  let a = [| 1.; 2.; 2.; 4. |] in
+  let dst = Array.make 4 0. in
+  check_bool "singular raises" true
+    (try Dense.invert ~n:2 a dst; false with Failure _ -> true)
+
+let test_invert_pivoting () =
+  (* Zero on the diagonal forces a row swap. *)
+  let a = [| 0.; 1.; 1.; 0. |] in
+  let inv = Array.make 4 0. in
+  Dense.invert ~n:2 a inv;
+  check_bool "swap inverse" true (close inv [| 0.; 1.; 1.; 0. |])
+
+let test_rss () =
+  let e = [| 1.; 2.; 3.; 4. |] in
+  (* 2 x 2: columns (1,3) and (2,4). *)
+  let acc = [| 0.; 100. |] in
+  Dense.rss_acc ~rows:2 ~cols:2 ~e ~acc;
+  check_bool "rss" true (acc = [| 10.; 120. |])
+
+let qcheck_kernels =
+  let open QCheck in
+  let dims = Gen.(triple (int_range 1 5) (int_range 1 5) (int_range 1 5)) in
+  let gen =
+    Gen.(
+      dims >>= fun (m, n, k) ->
+      let arr len = array_size (return len) (float_range (-2.) 2.) in
+      map2 (fun a b -> (m, n, k, a, b)) (arr (m * k)) (arr (k * n)))
+  in
+  [ Test.make ~name:"gemm matches reference" ~count:100
+      (make gen)
+      (fun (m, n, k, a, b) ->
+        let c = Array.make (m * n) 0. in
+        Dense.gemm ~accumulate:false ~ta:false ~tb:false ~m ~n ~k ~a ~b ~c;
+        close c (ref_gemm ~ta:false ~tb:false ~m ~n ~k a b));
+    Test.make ~name:"transpose flags consistent" ~count:100
+      (make gen)
+      (fun (m, n, k, a, b) ->
+        (* op(A) with ta on a k x m layout equals plain A on m x k, when the
+           data is transposed accordingly. *)
+        let at = Array.init (k * m) (fun i -> a.(((i mod m) * k) + (i / m))) in
+        let c1 = Array.make (m * n) 0. and c2 = Array.make (m * n) 0. in
+        Dense.gemm ~accumulate:false ~ta:false ~tb:false ~m ~n ~k ~a ~b ~c:c1;
+        Dense.gemm ~accumulate:false ~ta:true ~tb:false ~m ~n ~k ~a:at ~b ~c:c2;
+        close c1 c2) ]
+
+let suite =
+  ( "kernels",
+    [ Alcotest.test_case "gemm transposes" `Quick test_gemm_all_transposes;
+      Alcotest.test_case "gemm accumulate" `Quick test_gemm_accumulate;
+      Alcotest.test_case "elementwise" `Quick test_elementwise;
+      Alcotest.test_case "invert" `Quick test_invert;
+      Alcotest.test_case "invert singular" `Quick test_invert_singular;
+      Alcotest.test_case "invert pivoting" `Quick test_invert_pivoting;
+      Alcotest.test_case "rss" `Quick test_rss ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck_kernels )

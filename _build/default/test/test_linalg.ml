@@ -1,0 +1,86 @@
+module Q = Riot_base.Q
+module Vec = Riot_linalg.Vec
+module Mat = Riot_linalg.Mat
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_vec () =
+  let a = Vec.of_ints [ 1; 2; 3 ] and b = Vec.of_ints [ 4; 5; 6 ] in
+  check_bool "add" true (Vec.equal (Vec.add a b) (Vec.of_ints [ 5; 7; 9 ]));
+  check_bool "sub" true (Vec.equal (Vec.sub b a) (Vec.of_ints [ 3; 3; 3 ]));
+  check_bool "dot" true (Q.equal (Vec.dot a b) (Q.of_int 32));
+  check_bool "scale" true
+    (Vec.equal (Vec.scale (Q.of_int 2) a) (Vec.of_ints [ 2; 4; 6 ]));
+  check_bool "zero" true (Vec.is_zero (Vec.zero 4));
+  check_bool "normalize" true
+    (Vec.equal
+       (Vec.normalize [| Q.make (-2) 3; Q.make 4 3; Q.zero |])
+       (Vec.of_ints [ 1; -2; 0 ]))
+
+let test_rank () =
+  check_int "full rank" 2 (Mat.rank (Mat.of_int_rows [ [ 1; 0 ]; [ 0; 1 ] ]));
+  check_int "deficient" 1 (Mat.rank (Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ]));
+  check_int "zero" 0 (Mat.rank (Mat.of_int_rows [ [ 0; 0 ]; [ 0; 0 ] ]));
+  check_int "rect" 2 (Mat.rank (Mat.of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ]; [ 7; 8; 9 ] ]))
+
+let test_null_space () =
+  let m = Mat.of_int_rows [ [ 1; 2; 3 ]; [ 4; 5; 6 ] ] in
+  let ns = Mat.null_space m in
+  check_int "nullity" 1 (List.length ns);
+  List.iter
+    (fun v -> check_bool "A v = 0" true (Vec.is_zero (Mat.mul_vec m v)))
+    ns;
+  (* Identity has trivial null space. *)
+  check_int "identity nullity" 0
+    (List.length (Mat.null_space (Mat.of_int_rows [ [ 1; 0 ]; [ 0; 1 ] ])))
+
+let test_row_space () =
+  let m = Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ]; [ 0; 1 ] ] in
+  check_int "basis size" 2 (List.length (Mat.row_space_basis m));
+  check_bool "member" true (Mat.in_row_space m (Vec.of_ints [ 3; 7 ]));
+  let m2 = Mat.of_int_rows [ [ 1; 0; 0 ]; [ 0; 1; 0 ] ] in
+  check_bool "non-member" false (Mat.in_row_space m2 (Vec.of_ints [ 0; 0; 1 ]))
+
+let test_solve () =
+  let m = Mat.of_int_rows [ [ 2; 1 ]; [ 1; 3 ] ] in
+  (match Mat.solve m (Vec.of_ints [ 5; 10 ]) with
+  | None -> Alcotest.fail "expected a solution"
+  | Some x ->
+      check_bool "A x = b" true
+        (Vec.equal (Mat.mul_vec m x) (Vec.of_ints [ 5; 10 ])));
+  let sing = Mat.of_int_rows [ [ 1; 2 ]; [ 2; 4 ] ] in
+  check_bool "inconsistent" true (Mat.solve sing (Vec.of_ints [ 1; 3 ]) = None);
+  check_bool "consistent singular" true (Mat.solve sing (Vec.of_ints [ 1; 2 ]) <> None)
+
+let mat_gen =
+  QCheck.map
+    (fun rows -> Mat.of_int_rows rows)
+    QCheck.(
+      list_of_size (Gen.int_range 1 4)
+        (list_of_size (Gen.return 4) (int_range (-5) 5)))
+
+let qcheck_linalg =
+  [ QCheck.Test.make ~name:"rank-nullity" ~count:100 mat_gen (fun m ->
+        Mat.rank m + List.length (Mat.null_space m) = Mat.num_cols m);
+    QCheck.Test.make ~name:"null space vectors annihilate" ~count:100 mat_gen
+      (fun m ->
+        List.for_all (fun v -> Vec.is_zero (Mat.mul_vec m v)) (Mat.null_space m));
+    QCheck.Test.make ~name:"rows lie in row space" ~count:100 mat_gen (fun m ->
+        Array.for_all (fun r -> Mat.in_row_space m r) m);
+    QCheck.Test.make ~name:"echelon preserves rank" ~count:100 mat_gen (fun m ->
+        Mat.rank (Mat.row_echelon m) = Mat.rank m);
+    QCheck.Test.make ~name:"null space orthogonal to rows" ~count:100 mat_gen
+      (fun m ->
+        List.for_all
+          (fun v -> Array.for_all (fun r -> Q.is_zero (Vec.dot r v)) m)
+          (Mat.null_space m)) ]
+
+let suite =
+  ( "linalg",
+    [ Alcotest.test_case "vec ops" `Quick test_vec;
+      Alcotest.test_case "rank" `Quick test_rank;
+      Alcotest.test_case "null space" `Quick test_null_space;
+      Alcotest.test_case "row space" `Quick test_row_space;
+      Alcotest.test_case "solve" `Quick test_solve ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck_linalg )

@@ -1,0 +1,459 @@
+module Space = Riot_poly.Space
+module Aff = Riot_poly.Aff
+module Poly = Riot_poly.Poly
+module Union = Riot_poly.Union
+module Farkas = Riot_poly.Farkas
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let sp names = Space.of_names names
+
+(* Convenient constraint builder: [aff sp [(dim, coeff); ...] c]. *)
+let aff space ?(c = 0) terms = Aff.of_assoc space ~const:c terms
+
+(* A box [0 <= d < n] for every (d, n). *)
+let box space bounds =
+  List.fold_left
+    (fun p (d, n) ->
+      let x = Aff.dim space d in
+      Poly.add_ge (Poly.add_ge p x) (aff space ~c:(n - 1) [ (d, -1) ]))
+    (Poly.universe space) bounds
+
+let lookup assignment n = List.assoc n assignment
+
+(* --- Space ------------------------------------------------------------- *)
+
+let test_space () =
+  let s = sp [ "i"; "j"; "n" ] in
+  check_int "dim" 3 (Space.dim s);
+  check_int "index" 1 (Space.index s "j");
+  check_bool "mem" true (Space.mem s "n");
+  check_bool "not mem" false (Space.mem s "k");
+  check_bool "dup rejected" true
+    (try ignore (sp [ "i"; "i" ]); false with Invalid_argument _ -> true);
+  let u = Space.union s (sp [ "n"; "k" ]) in
+  check_int "union" 4 (Space.dim u);
+  check_int "remove" 2 (Space.dim (Space.remove s [ "j" ]))
+
+(* --- Aff --------------------------------------------------------------- *)
+
+let test_aff () =
+  let s = sp [ "i"; "j" ] in
+  let e = aff s ~c:3 [ ("i", 2); ("j", -1) ] in
+  check_int "eval" 8 (Aff.eval e (lookup [ ("i", 3); ("j", 1) ]));
+  check_int "coeff" 2 (Aff.coeff e "i");
+  check_int "coeff absent" 0 (Aff.coeff e "k");
+  let e2 = Aff.add e (Aff.dim s "j") in
+  check_int "add eval" 9 (Aff.eval e2 (lookup [ ("i", 3); ("j", 1) ]));
+  let e3 = Aff.subst e "i" (aff s ~c:1 [ ("j", 1) ]) in
+  (* 2*(j+1) - j + 3 = j + 5 *)
+  check_int "subst eval" 9 (Aff.eval e3 (lookup [ ("i", 99); ("j", 4) ]));
+  let e4 = Aff.fix_dims e [ ("i", 5) ] in
+  check_int "fix" 12 (Aff.eval e4 (lookup [ ("i", 0); ("j", 1) ]));
+  check_int "content gcd" 2 (Aff.content_gcd (aff s [ ("i", 4); ("j", -6) ]))
+
+(* --- Poly: emptiness and sampling -------------------------------------- *)
+
+let test_empty_basic () =
+  let s = sp [ "x" ] in
+  let p = box s [ ("x", 10) ] in
+  check_bool "box nonempty" false (Poly.is_integrally_empty p);
+  let p2 = Poly.add_ge p (aff s ~c:(-20) [ ("x", 1) ]) in
+  check_bool "contradiction empty" true (Poly.is_integrally_empty p2);
+  check_bool "rationally empty too" true (Poly.is_rationally_empty p2)
+
+let test_integer_vs_rational () =
+  (* 2x = 1 has rational but no integer solutions. *)
+  let s = sp [ "x" ] in
+  let p = Poly.add_eq (Poly.universe s) (aff s ~c:(-1) [ ("x", 2) ]) in
+  check_bool "rationally nonempty" false (Poly.is_rationally_empty p);
+  check_bool "integrally empty" true (Poly.is_integrally_empty p);
+  (* 0 <= 3x <= 2, x >= 1: rational points exist in [1/3 .. 2/3]? no: x>=1
+     contradicts 3x<=2 rationally as well. Use a genuinely fractional gap:
+     3 <= 2x <= 3 -> x = 3/2. *)
+  let p2 =
+    Poly.add_ge
+      (Poly.add_ge (Poly.universe s) (aff s ~c:(-3) [ ("x", 2) ]))
+      (aff s ~c:3 [ ("x", -2) ])
+  in
+  check_bool "x=3/2 rationally nonempty" false (Poly.is_rationally_empty p2);
+  check_bool "x=3/2 integrally empty" true (Poly.is_integrally_empty p2)
+
+let test_sample_and_mem () =
+  let s = sp [ "i"; "j" ] in
+  let p = Poly.add_ge (box s [ ("i", 5); ("j", 5) ]) (aff s ~c:(-6) [ ("i", 1); ("j", 1) ]) in
+  (match Poly.sample p with
+  | None -> Alcotest.fail "expected sample"
+  | Some pt -> check_bool "sample satisfies" true (Poly.mem p (lookup pt)));
+  check_bool "mem positive" true (Poly.mem p (lookup [ ("i", 3); ("j", 3) ]));
+  check_bool "mem negative" false (Poly.mem p (lookup [ ("i", 1); ("j", 1) ]))
+
+let test_enumerate () =
+  let s = sp [ "i"; "j" ] in
+  let p = box s [ ("i", 3); ("j", 2) ] in
+  check_int "count box" 6 (List.length (Poly.enumerate p));
+  let tri = Poly.add_ge p (aff s [ ("i", 1); ("j", -1) ]) in
+  (* j <= i: (0,0) (1,0) (1,1) (2,0) (2,1) *)
+  check_int "count triangle" 5 (List.length (Poly.enumerate tri));
+  let line = Poly.add_eq p (aff s ~c:(-1) [ ("i", 1); ("j", -1) ]) in
+  (* i = j+1: (1,0) (2,1) *)
+  check_int "count line" 2 (List.length (Poly.enumerate line));
+  check_bool "unbounded raises" true
+    (try ignore (Poly.enumerate (Poly.universe s)); false with Failure _ -> true)
+
+let test_eliminate () =
+  let s = sp [ "i"; "j" ] in
+  (* 0 <= i < 4, i = 2j: projection onto j gives j in {0,1}. Rational FM keeps
+     0 <= 2j <= 3 i.e. j in [0, 3/2]; tightening yields j in [0,1]. *)
+  let p = Poly.add_eq (box s [ ("i", 4) ]) (aff s [ ("i", 1); ("j", -2) ]) in
+  let q = Poly.drop_dims p [ "i" ] in
+  let pts = Poly.enumerate q in
+  check_int "projection count" 2 (List.length pts);
+  check_bool "projection points" true
+    (List.for_all (fun pt -> List.mem ("j", 0) pt || List.mem ("j", 1) pt) pts)
+
+let test_fix_dims () =
+  let s = sp [ "i"; "n" ] in
+  let p = Poly.add_ge (Poly.add_ge (Poly.universe s) (Aff.dim s "i"))
+            (aff s ~c:(-1) [ ("n", 1); ("i", -1) ]) in
+  (* 0 <= i <= n-1 *)
+  let q = Poly.fix_dims p [ ("n", 4) ] in
+  check_int "fixed count" 4 (List.length (Poly.enumerate q));
+  check_int "space shrank" 1 (Space.dim (Poly.space q))
+
+let test_subtract () =
+  let s = sp [ "x" ] in
+  let p = box s [ ("x", 10) ] in
+  let q = box s [ ("x", 4) ] in
+  let pieces = Poly.subtract p q in
+  let pts = List.concat_map Poly.enumerate pieces in
+  check_int "difference count" 6 (List.length pts);
+  check_bool "difference values" true
+    (List.for_all (fun pt -> List.assoc "x" pt >= 4) pts);
+  (* Subtracting a superset leaves nothing. *)
+  let none = List.concat_map Poly.enumerate (Poly.subtract q p) in
+  check_int "empty difference" 0 (List.length none)
+
+let test_union_ops () =
+  let s = sp [ "x" ] in
+  let a = box s [ ("x", 3) ] in
+  let b =
+    Poly.add_ge (box s [ ("x", 8) ]) (aff s ~c:(-5) [ ("x", 1) ])
+    (* 5 <= x < 8 *)
+  in
+  let u = Union.union (Union.of_poly a) (Union.of_poly b) in
+  check_int "union count" 6 (List.length (Union.enumerate u));
+  check_bool "union mem" true (Union.mem u (lookup [ ("x", 6) ]));
+  check_bool "union not mem" false (Union.mem u (lookup [ ("x", 4) ]));
+  let d = Union.subtract u (Union.of_poly (box s [ ("x", 6) ])) in
+  let pts = Union.enumerate d in
+  check_int "union subtract" 2 (List.length pts);
+  (* Overlapping disjuncts enumerate without duplicates. *)
+  let o = Union.union (Union.of_poly a) (Union.of_poly a) in
+  check_int "dedup" 3 (List.length (Union.enumerate o))
+
+(* --- Farkas ------------------------------------------------------------ *)
+
+(* Verify Farkas output semantically: for any integer point [u] of the
+   result, the target must be >= 0 on every point of [p]. And the result
+   must not be vacuous when a known-good [u] exists. *)
+let test_farkas_simple () =
+  (* P = { (i, j) | 0 <= i, j < 4, j <= i }.
+     Target: a*i + b*j + c  with unknowns (a, b, c).
+     u = (1, -1, 0) gives i - j >= 0 on P: must be admitted.
+     u = (0, 1, -3) gives j - 3, negative at j=0: must be rejected. *)
+  let vs = sp [ "i"; "j" ] in
+  let us = sp [ "a"; "b"; "c" ] in
+  let p = Poly.add_ge (box vs [ ("i", 4); ("j", 4) ]) (aff vs [ ("i", 1); ("j", -1) ]) in
+  let coeff = function
+    | "i" -> Aff.dim us "a"
+    | "j" -> Aff.dim us "b"
+    | _ -> Aff.zero us
+  in
+  let result = Farkas.nonneg_on ~unknowns:us ~over:p ~coeff ~const:(Aff.dim us "c") in
+  check_bool "admits i - j" true
+    (Poly.mem result (lookup [ ("a", 1); ("b", -1); ("c", 0) ]));
+  check_bool "admits constant 5" true
+    (Poly.mem result (lookup [ ("a", 0); ("b", 0); ("c", 5) ]));
+  check_bool "rejects j - 3" false
+    (Poly.mem result (lookup [ ("a", 0); ("b", 1); ("c", -3) ]));
+  check_bool "rejects -i" false
+    (Poly.mem result (lookup [ ("a", -1); ("b", 0); ("c", 0) ]))
+
+let test_farkas_soundness_exhaustive () =
+  (* Exhaustively check agreement between the Farkas result and the direct
+     definition on a small grid of unknowns. *)
+  let vs = sp [ "i"; "j" ] in
+  let us = sp [ "a"; "b"; "c" ] in
+  let p =
+    Poly.add_ge (box vs [ ("i", 3); ("j", 3) ]) (aff vs ~c:(-1) [ ("i", 1); ("j", 1) ])
+    (* i + j >= 1 *)
+  in
+  let pts = Poly.enumerate p in
+  let coeff = function
+    | "i" -> Aff.dim us "a"
+    | "j" -> Aff.dim us "b"
+    | _ -> Aff.zero us
+  in
+  let result = Farkas.nonneg_on ~unknowns:us ~over:p ~coeff ~const:(Aff.dim us "c") in
+  for a = -2 to 2 do
+    for b = -2 to 2 do
+      for c = -2 to 2 do
+        let direct =
+          List.for_all (fun pt -> (a * List.assoc "i" pt) + (b * List.assoc "j" pt) + c >= 0) pts
+        in
+        let farkas = Poly.mem result (lookup [ ("a", a); ("b", b); ("c", c) ]) in
+        if direct <> farkas then
+          Alcotest.failf "farkas mismatch at a=%d b=%d c=%d: direct=%b farkas=%b" a b c
+            direct farkas
+      done
+    done
+  done
+
+let test_farkas_parametric () =
+  (* P = { (i, n) | 0 <= i <= n - 1, n >= 1 }. Target a*i + b*n + c >= 0.
+     (a=-1, b=1, c=-1): n - 1 - i >= 0 on P: admitted.
+     (a=1, b=-1, c=0): i - n <= -1 < 0: rejected. *)
+  let vs = sp [ "i"; "n" ] in
+  let us = sp [ "a"; "b"; "c" ] in
+  let p =
+    Poly.add_ge
+      (Poly.add_ge
+         (Poly.add_ge (Poly.universe vs) (Aff.dim vs "i"))
+         (aff vs ~c:(-1) [ ("n", 1); ("i", -1) ]))
+      (aff vs ~c:(-1) [ ("n", 1) ])
+  in
+  let coeff = function
+    | "i" -> Aff.dim us "a"
+    | "n" -> Aff.dim us "b"
+    | _ -> Aff.zero us
+  in
+  let result = Farkas.nonneg_on ~unknowns:us ~over:p ~coeff ~const:(Aff.dim us "c") in
+  check_bool "admits n-1-i" true
+    (Poly.mem result (lookup [ ("a", -1); ("b", 1); ("c", -1) ]));
+  check_bool "rejects i-n" false
+    (Poly.mem result (lookup [ ("a", 1); ("b", -1); ("c", 0) ]));
+  check_bool "rejects -n+2 (fails for large n)" false
+    (Poly.mem result (lookup [ ("a", 0); ("b", -1); ("c", 2) ]))
+
+let test_farkas_zero_on () =
+  (* On P = { (i, j) | i = j, 0 <= i < 4 }, a*i + b*j + c = 0 for all points
+     iff a + b = 0 and c = 0. *)
+  let vs = sp [ "i"; "j" ] in
+  let us = sp [ "a"; "b"; "c" ] in
+  let p = Poly.add_eq (box vs [ ("i", 4); ("j", 4) ]) (aff vs [ ("i", 1); ("j", -1) ]) in
+  let coeff = function
+    | "i" -> Aff.dim us "a"
+    | "j" -> Aff.dim us "b"
+    | _ -> Aff.zero us
+  in
+  let result = Farkas.zero_on ~unknowns:us ~over:p ~coeff ~const:(Aff.dim us "c") in
+  check_bool "admits (1,-1,0)" true
+    (Poly.mem result (lookup [ ("a", 1); ("b", -1); ("c", 0) ]));
+  check_bool "admits (0,0,0)" true
+    (Poly.mem result (lookup [ ("a", 0); ("b", 0); ("c", 0) ]));
+  check_bool "rejects (1,0,0)" false
+    (Poly.mem result (lookup [ ("a", 1); ("b", 0); ("c", 0) ]));
+  check_bool "rejects (1,-1,1)" false
+    (Poly.mem result (lookup [ ("a", 1); ("b", -1); ("c", 1) ]))
+
+(* --- Polynomial and parametric counting --------------------------------- *)
+
+module Pl = Riot_poly.Polynomial
+module Count = Riot_poly.Count
+
+let test_polynomial_algebra () =
+  let open Pl in
+  let n = var "n" and m = var "m" in
+  let p = add (mul n m) (sub n (of_int 3)) in
+  let at nv mv = Riot_base.Q.to_int_exn (eval p (function "n" -> nv | _ -> mv)) in
+  check_int "eval" (20 + 4 - 3) (at 4 5);
+  check_int "eval2" (6 + 2 - 3) (at 2 3);
+  check_int "degree" 2 (degree p);
+  Alcotest.(check (list string)) "vars" [ "m"; "n" ] (variables p);
+  check_bool "mul commutes" true (equal (mul n m) (mul m n));
+  check_bool "sub cancels" true (is_zero (sub p p));
+  check_bool "distributes" true
+    (equal (mul n (add m one)) (add (mul n m) n))
+
+let test_count_box () =
+  (* 0 <= i < n, 0 <= j < m  ->  n*m points. *)
+  let s = sp [ "i"; "j"; "n"; "m" ] in
+  let p =
+    Poly.add_ge
+      (Poly.add_ge
+         (Poly.add_ge
+            (Poly.add_ge (Poly.universe s) (Aff.dim s "i"))
+            (aff s ~c:(-1) [ ("n", 1); ("i", -1) ]))
+         (Aff.dim s "j"))
+      (aff s ~c:(-1) [ ("m", 1); ("j", -1) ])
+  in
+  match Count.count p ~over:[ "i"; "j" ] with
+  | None -> Alcotest.fail "expected a box count"
+  | Some c ->
+      check_bool "n*m" true (Pl.equal c Pl.(mul (var "n") (var "m")));
+      (* Pinned dimension contributes factor one (same range so the count
+         stays a polynomial: min(n,m) would not be). *)
+      let p2 =
+        Poly.add_eq
+          (Poly.add_ge
+             (Poly.add_ge
+                (Poly.add_ge
+                   (Poly.add_ge (Poly.universe s) (Aff.dim s "i"))
+                   (aff s ~c:(-1) [ ("n", 1); ("i", -1) ]))
+                (Aff.dim s "j"))
+             (aff s ~c:(-1) [ ("n", 1); ("j", -1) ]))
+          (aff s [ ("j", 1); ("i", -1) ])
+      in
+      (match Count.count p2 ~over:[ "i"; "j" ] with
+      | Some c2 -> check_bool "diagonal pinned" true (Pl.equal c2 (Pl.var "n"))
+      | None -> Alcotest.fail "pinned count");
+      (* Triangular domains are out of scope. *)
+      let tri = Poly.add_ge p (aff s [ ("i", 1); ("j", -1) ]) in
+      check_bool "triangular refused" true (Count.count tri ~over:[ "i"; "j" ] = None)
+
+let test_count_matches_enumeration () =
+  let s = sp [ "i"; "j"; "n" ] in
+  let p =
+    Poly.add_ge
+      (Poly.add_ge
+         (Poly.add_ge
+            (Poly.add_ge (Poly.universe s) (Aff.dim s "i"))
+            (aff s ~c:(-1) [ ("n", 1); ("i", -1) ]))
+         (aff s ~c:2 [ ("j", 1) ]))
+      (aff s ~c:1 [ ("n", 1); ("j", -1) ])
+    (* -2 <= j <= n+1 *)
+  in
+  match Count.count p ~over:[ "i"; "j" ] with
+  | None -> Alcotest.fail "expected count"
+  | Some c ->
+      List.iter
+        (fun nv ->
+          let concrete = List.length (Poly.enumerate (Poly.fix_dims p [ ("n", nv) ])) in
+          check_int
+            (Printf.sprintf "count at n=%d" nv)
+            concrete
+            (Pl.eval_int_exn c (fun _ -> nv)))
+        [ 1; 2; 5 ]
+
+(* --- Property tests ----------------------------------------------------- *)
+
+let poly_gen =
+  (* Random polyhedra inside a 0..5 box over (i, j, k) with a few extra
+     random constraints. *)
+  let open QCheck in
+  let space = sp [ "i"; "j"; "k" ] in
+  let cstr =
+    map
+      (fun (ci, cj, ck, c) -> aff space ~c [ ("i", ci); ("j", cj); ("k", ck) ])
+      (quad (int_range (-2) 2) (int_range (-2) 2) (int_range (-2) 2) (int_range (-3) 6))
+  in
+  map
+    (fun (ges, eqs) ->
+      let p = box space [ ("i", 6); ("j", 6); ("k", 6) ] in
+      let p = List.fold_left Poly.add_ge p ges in
+      List.fold_left Poly.add_eq p eqs)
+    (pair (list_of_size (Gen.int_range 0 3) cstr) (list_of_size (Gen.int_range 0 1) cstr))
+
+let qcheck_poly =
+  let open QCheck in
+  [ Test.make ~name:"emptiness agrees with enumeration" ~count:150 poly_gen
+      (fun p -> Poly.is_integrally_empty p = (Poly.enumerate p = []));
+    Test.make ~name:"sample satisfies constraints" ~count:150 poly_gen (fun p ->
+        match Poly.sample p with
+        | None -> true
+        | Some pt -> Poly.mem p (lookup pt));
+    Test.make ~name:"enumeration points all satisfy" ~count:100 poly_gen (fun p ->
+        List.for_all (fun pt -> Poly.mem p (lookup pt)) (Poly.enumerate p));
+    Test.make ~name:"FM projection is sound (no integer point lost)" ~count:100
+      poly_gen (fun p ->
+        let projected = Poly.drop_dims p [ "k" ] in
+        List.for_all
+          (fun pt ->
+            Poly.mem projected (lookup (List.remove_assoc "k" pt)))
+          (Poly.enumerate p));
+    Test.make ~name:"simplify preserves integer points" ~count:100 poly_gen
+      (fun p ->
+        let s = Poly.simplify p in
+        let key pt = List.sort compare pt in
+        List.sort compare (List.map key (Poly.enumerate p))
+        = List.sort compare (List.map key (Poly.enumerate s)));
+    Test.make ~name:"subtract partitions correctly" ~count:100 (QCheck.pair poly_gen poly_gen)
+      (fun (p, q) ->
+        let diff = Poly.subtract p q in
+        let in_diff pt = List.exists (fun d -> Poly.mem d (lookup pt)) diff in
+        List.for_all
+          (fun pt -> in_diff pt = not (Poly.mem q (lookup pt)))
+          (Poly.enumerate p));
+    Test.make ~name:"subtract pieces are subsets of p" ~count:100
+      (QCheck.pair poly_gen poly_gen) (fun (p, q) ->
+        List.for_all
+          (fun d -> List.for_all (fun pt -> Poly.mem p (lookup pt)) (Poly.enumerate d))
+          (Poly.subtract p q)) ]
+
+let qcheck_counting =
+  let open QCheck in
+  let poly_ring =
+    let gen =
+      Gen.(
+        let term = map2 (fun v c -> Pl.scale (Riot_base.Q.of_int c)
+                            (match v with 0 -> Pl.one | 1 -> Pl.var "x" | 2 -> Pl.var "y"
+                                        | _ -> Pl.mul (Pl.var "x") (Pl.var "y")))
+            (int_range 0 3) (int_range (-4) 4)
+        in
+        map (List.fold_left Pl.add Pl.zero) (list_size (return 4) term))
+    in
+    make gen
+  in
+  [ Test.make ~name:"polynomial ring laws" ~count:100 (QCheck.triple poly_ring poly_ring poly_ring)
+      (fun (a, b, c) ->
+        Pl.equal (Pl.mul a (Pl.add b c)) (Pl.add (Pl.mul a b) (Pl.mul a c))
+        && Pl.equal (Pl.mul a b) (Pl.mul b a)
+        && Pl.is_zero (Pl.sub (Pl.add a b) (Pl.add b a)));
+    Test.make ~name:"box count matches enumeration" ~count:100
+      (QCheck.quad (int_range 1 4) (int_range 1 4) (int_range 0 3) (int_range 0 3))
+      (fun (n, m, lo1, lo2) ->
+        (* lo <= i < lo + n, lo2 <= j < lo2 + m, shifted by a parameter. *)
+        let s = sp [ "i"; "j"; "p" ] in
+        let box =
+          Poly.add_ge
+            (Poly.add_ge
+               (Poly.add_ge
+                  (Poly.add_ge (Poly.universe s)
+                     (aff s ~c:(-lo1) [ ("i", 1); ("p", -1) ]))
+                  (aff s ~c:(lo1 + n - 1) [ ("i", -1); ("p", 1) ]))
+               (aff s ~c:(-lo2) [ ("j", 1) ]))
+            (aff s ~c:(lo2 + m - 1) [ ("j", -1) ])
+        in
+        match Count.count box ~over:[ "i"; "j" ] with
+        | None -> false
+        | Some c ->
+            List.for_all
+              (fun pv ->
+                let concrete =
+                  List.length (Poly.enumerate (Poly.fix_dims box [ ("p", pv) ]))
+                in
+                Pl.eval_int_exn c (fun _ -> pv) = concrete)
+              [ 0; 1; 5 ]) ]
+
+let suite =
+  ( "poly",
+    [ Alcotest.test_case "space" `Quick test_space;
+      Alcotest.test_case "aff" `Quick test_aff;
+      Alcotest.test_case "empty basic" `Quick test_empty_basic;
+      Alcotest.test_case "integer vs rational emptiness" `Quick test_integer_vs_rational;
+      Alcotest.test_case "sample and mem" `Quick test_sample_and_mem;
+      Alcotest.test_case "enumerate" `Quick test_enumerate;
+      Alcotest.test_case "eliminate" `Quick test_eliminate;
+      Alcotest.test_case "fix dims" `Quick test_fix_dims;
+      Alcotest.test_case "subtract" `Quick test_subtract;
+      Alcotest.test_case "union ops" `Quick test_union_ops;
+      Alcotest.test_case "farkas simple" `Quick test_farkas_simple;
+      Alcotest.test_case "farkas exhaustive agreement" `Quick test_farkas_soundness_exhaustive;
+      Alcotest.test_case "farkas parametric" `Quick test_farkas_parametric;
+      Alcotest.test_case "farkas zero_on" `Quick test_farkas_zero_on;
+      Alcotest.test_case "polynomial algebra" `Quick test_polynomial_algebra;
+      Alcotest.test_case "count box" `Quick test_count_box;
+      Alcotest.test_case "count matches enumeration" `Quick test_count_matches_enumeration ]
+    @ List.map QCheck_alcotest.to_alcotest (qcheck_poly @ qcheck_counting) )

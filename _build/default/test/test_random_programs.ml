@@ -1,0 +1,199 @@
+(* Property tests over randomly generated static-control programs: the
+   analysis and optimizer invariants must hold for arbitrary loop programs,
+   not just the paper's benchmarks. *)
+
+module B = Riot_ir.Build
+module Array_info = Riot_ir.Array_info
+module Program = Riot_ir.Program
+module Config = Riot_ir.Config
+module Kernel = Riot_ir.Kernel
+module Access = Riot_ir.Access
+module Deps = Riot_analysis.Deps
+module Coaccess = Riot_analysis.Coaccess
+module Reduce = Riot_analysis.Reduce
+module Search = Riot_optimizer.Search
+module Verify = Riot_optimizer.Verify
+module Cplan = Riot_plan.Cplan
+module Engine = Riot_exec.Engine
+module Backend = Riot_storage.Backend
+module Block_store = Riot_storage.Block_store
+
+let nval = 3 (* reference parameter value; arrays are nval x nval blocks *)
+
+(* A generated program description: a few loop nests over shared arrays.
+   Subscripts are chosen to stay inside an [0, n) grid: the loop variable
+   itself, the reversed n-1-v, or the constant 0. *)
+
+type sub_kind = Svar | Srev | Szero
+
+let sub_of vars rng =
+  match vars with
+  | [] -> (B.cst 0, Szero)
+  | _ -> (
+      let v = List.nth vars (Random.State.int rng (List.length vars)) in
+      match Random.State.int rng 4 with
+      | 0 | 1 -> (B.var v, Svar)
+      | 2 -> (B.(cst (-1) + var "n" - var v), Srev)
+      | _ -> (B.cst 0, Szero))
+
+let gen_program rng =
+  let n_arrays = 2 + Random.State.int rng 2 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        let kind =
+          match Random.State.int rng 3 with
+          | 0 -> Array_info.Input
+          | 1 -> Array_info.Intermediate
+          | _ -> Array_info.Output
+        in
+        Array_info.make ~kind (Printf.sprintf "R%d" i) ~ndims:2)
+  in
+  let array_name i = Printf.sprintf "R%d" (i mod n_arrays) in
+  let n_nests = 2 + Random.State.int rng 2 in
+  let counter = ref 0 in
+  let nest ni =
+    let depth = 1 + Random.State.int rng 2 in
+    let vars = List.init depth (fun d -> Printf.sprintf "v%d_%d" ni d) in
+    incr counter;
+    let sname = Printf.sprintf "s%d" !counter in
+    let acc typ ai =
+      let s1, _ = sub_of vars rng and s2, _ = sub_of vars rng in
+      (typ, array_name ai, [ s1; s2 ], [])
+    in
+    let w = acc Access.Write (Random.State.int rng n_arrays) in
+    let reads =
+      List.init
+        (1 + Random.State.int rng 2)
+        (fun _ -> acc Access.Read (Random.State.int rng n_arrays))
+    in
+    let stmt = B.stmt sname ~kernel:(Kernel.Opaque "rand") ~accs:(w :: reads) in
+    let rec wrap vars body =
+      match vars with
+      | [] -> body
+      | v :: rest -> [ B.for_ v ~lo:(B.cst 0) ~hi:(B.var "n") (wrap rest body) ]
+    in
+    List.hd (wrap vars [ stmt ])
+  in
+  B.program ~name:"random" ~params:[ "n" ] ~arrays (List.init n_nests nest)
+
+let config_for (prog : Program.t) =
+  Config.make
+    ~params:[ ("n", nval) ]
+    ~layouts:
+      (List.map
+         (fun (a : Array_info.t) ->
+           (a.Array_info.name,
+             { Config.grid = [| nval; nval |]; block_elems = [| 4; 4 |]; elem_size = 8 }))
+         prog.Program.arrays)
+
+let ref_params = [ ("n", nval) ]
+
+let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000)
+
+let with_program seed f =
+  let rng = Random.State.make [| seed; 77 |] in
+  f (gen_program rng)
+
+let prop_sharing_one_one =
+  QCheck.Test.make ~name:"random programs: sharing is one-one" ~count:40 seed_gen
+    (fun seed ->
+      with_program seed (fun prog ->
+          let r = Deps.extract prog ~ref_params in
+          List.for_all (fun ca -> Reduce.is_one_one ca ~ref_params) r.Deps.sharing))
+
+let prop_deps_subset_of_ground_truth =
+  QCheck.Test.make ~name:"random programs: polyhedral deps in ground truth" ~count:40
+    seed_gen (fun seed ->
+      with_program seed (fun prog ->
+          let r = Deps.extract prog ~ref_params in
+          let truth = Deps.concrete_dependence_pairs prog ~params:ref_params in
+          let mem (s1, i1) (s2, i2) =
+            List.exists
+              (fun ((s1', i1'), (s2', i2')) ->
+                s1 = s1' && s2 = s2'
+                && List.sort compare i1 = List.sort compare i1'
+                && List.sort compare i2 = List.sort compare i2')
+              truth
+          in
+          List.for_all
+            (fun (ca : Coaccess.t) ->
+              List.for_all
+                (fun (src, dst) ->
+                  mem (ca.Coaccess.src_stmt, src) (ca.Coaccess.dst_stmt, dst))
+                (Coaccess.pairs_at ca ~params:ref_params))
+            r.Deps.dependences))
+
+let prop_sharing_pairs_share_blocks =
+  QCheck.Test.make ~name:"random programs: sharing pairs touch one block" ~count:40
+    seed_gen (fun seed ->
+      with_program seed (fun prog ->
+          let r = Deps.extract prog ~ref_params in
+          List.for_all
+            (fun (ca : Coaccess.t) ->
+              let src_s = Program.find_stmt prog ca.Coaccess.src_stmt in
+              let dst_s = Program.find_stmt prog ca.Coaccess.dst_stmt in
+              let src_a = List.nth src_s.Riot_ir.Stmt.accesses ca.Coaccess.src_acc in
+              let dst_a = List.nth dst_s.Riot_ir.Stmt.accesses ca.Coaccess.dst_acc in
+              let look inst x =
+                match List.assoc_opt x inst with
+                | Some v -> v
+                | None -> List.assoc x ref_params
+              in
+              List.for_all
+                (fun (src, dst) ->
+                  Access.block_of src_a (look src) = Access.block_of dst_a (look dst))
+                (Coaccess.pairs_at ca ~params:ref_params))
+            r.Deps.sharing))
+
+let prop_enumerated_plans_verify =
+  (* Search with verify:false, then check legality/injectivity/realization
+     independently: the search must only emit plans that pass. *)
+  QCheck.Test.make ~name:"random programs: plans verify" ~count:20 seed_gen
+    (fun seed ->
+      with_program seed (fun prog ->
+          let analysis = Deps.extract prog ~ref_params in
+          let plans, _ =
+            Search.enumerate ~verify:false ~max_size:2 prog ~analysis ~ref_params
+          in
+          let c = Verify.checker prog ~params:ref_params in
+          List.for_all
+            (fun (p : Search.plan) ->
+              Verify.check_legal c p.Search.sched
+              && Verify.check_injective c p.Search.sched
+              && List.for_all
+                   (fun ca -> Verify.check_realizes c ca p.Search.sched)
+                   p.Search.q)
+            plans))
+
+let prop_engine_matches_plan =
+  QCheck.Test.make ~name:"random programs: engine I/O = plan I/O" ~count:20 seed_gen
+    (fun seed ->
+      with_program seed (fun prog ->
+          let config = config_for prog in
+          let analysis = Deps.extract prog ~ref_params in
+          let plans, _ = Search.enumerate ~max_size:1 prog ~analysis ~ref_params in
+          List.for_all
+            (fun (p : Search.plan) ->
+              let cplan =
+                Cplan.build prog ~config ~sched:p.Search.sched ~realized:p.Search.q
+              in
+              let backend =
+                Backend.sim ~read_bw:96e6 ~write_bw:60e6 ~request_overhead:0. ()
+              in
+              let r =
+                Engine.run ~compute:false cplan ~backend
+                  ~format:Block_store.Daf_format ~mem_cap:cplan.Cplan.peak_memory
+              in
+              r.Engine.reads = cplan.Cplan.read_ops
+              && r.Engine.writes = cplan.Cplan.write_ops
+              && r.Engine.pool_peak_bytes <= cplan.Cplan.peak_memory)
+            plans))
+
+let suite =
+  ( "random-programs",
+    List.map QCheck_alcotest.to_alcotest
+      [ prop_sharing_one_one;
+        prop_deps_subset_of_ground_truth;
+        prop_sharing_pairs_share_blocks;
+        prop_enumerated_plans_verify;
+        prop_engine_matches_plan ] )

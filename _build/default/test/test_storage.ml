@@ -1,0 +1,297 @@
+module Backend = Riot_storage.Backend
+module Io_stats = Riot_storage.Io_stats
+module Daf = Riot_storage.Daf
+module Lab_tree = Riot_storage.Lab_tree
+module Block_store = Riot_storage.Block_store
+module Buffer_pool = Riot_storage.Buffer_pool
+module Config = Riot_ir.Config
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let layout ~grid ~block =
+  { Config.grid; block_elems = block; elem_size = 8 }
+
+let tmpdir () = Filename.temp_file "riot" "" |> fun f -> Sys.remove f; f
+
+let sim () = Backend.sim ~read_bw:96e6 ~write_bw:60e6 ~request_overhead:0.01 ()
+
+let payload layout seed =
+  let n = Config.block_elems_total layout in
+  Array.init n (fun i -> float_of_int (seed * 1000) +. float_of_int i)
+
+let bytes_of_floats a =
+  let b = Bytes.create (Array.length a * 8) in
+  Array.iteri (fun i v -> Bytes.set_int64_le b (i * 8) (Int64.bits_of_float v)) a;
+  b
+
+let floats_of_bytes b =
+  Array.init (Bytes.length b / 8) (fun i -> Int64.float_of_bits (Bytes.get_int64_le b (i * 8)))
+
+(* --- Backends ------------------------------------------------------------ *)
+
+let test_sim_backend_roundtrip () =
+  let b = sim () in
+  b.Backend.pwrite ~name:"x" ~off:100 ~data:(Bytes.of_string "hello");
+  let r = b.Backend.pread ~name:"x" ~off:100 ~len:5 in
+  Alcotest.(check string) "roundtrip" "hello" (Bytes.to_string r);
+  check_int "size" 105 (b.Backend.size ~name:"x");
+  (* Overwrite in the middle. *)
+  b.Backend.pwrite ~name:"x" ~off:102 ~data:(Bytes.of_string "LL");
+  Alcotest.(check string) "middle overwrite" "heLLo"
+    (Bytes.to_string (b.Backend.pread ~name:"x" ~off:100 ~len:5));
+  check_int "reads counted" 2 b.Backend.stats.Io_stats.reads;
+  check_int "writes counted" 2 b.Backend.stats.Io_stats.writes;
+  check_bool "virtual time advanced" true (b.Backend.stats.Io_stats.virtual_time > 0.)
+
+let test_file_backend_roundtrip () =
+  let root = tmpdir () in
+  let b = Backend.file ~root in
+  b.Backend.pwrite ~name:"y" ~off:0 ~data:(Bytes.of_string "abcdef");
+  b.Backend.pwrite ~name:"y" ~off:2 ~data:(Bytes.of_string "XY");
+  Alcotest.(check string) "file roundtrip" "abXYef"
+    (Bytes.to_string (b.Backend.pread ~name:"y" ~off:0 ~len:6));
+  check_int "bytes written" 8 b.Backend.stats.Io_stats.bytes_written;
+  (* Reading past EOF yields zeroes. *)
+  let r = b.Backend.pread ~name:"y" ~off:4 ~len:8 in
+  Alcotest.(check string) "tail" "ef" (Bytes.to_string (Bytes.sub r 0 2));
+  check_bool "zero fill" true (Bytes.get r 7 = '\000');
+  b.Backend.close ()
+
+let test_discard_io_counts () =
+  let b = sim () in
+  b.Backend.read_discard ~name:"z" ~off:0 ~len:1000;
+  b.Backend.write_discard ~name:"z" ~off:0 ~len:500;
+  check_int "bytes read" 1000 b.Backend.stats.Io_stats.bytes_read;
+  check_int "bytes written" 500 b.Backend.stats.Io_stats.bytes_written;
+  check_int "size grows" 500 (b.Backend.size ~name:"z")
+
+(* --- DAF ------------------------------------------------------------------ *)
+
+let test_daf_roundtrip () =
+  let l = layout ~grid:[| 3; 4 |] ~block:[| 5; 7 |] in
+  let b = sim () in
+  let d = Daf.create b ~name:"A" ~layout:l in
+  let p12 = payload l 12 and p00 = payload l 1 in
+  Daf.write_block d [ 1; 2 ] (bytes_of_floats p12);
+  Daf.write_block d [ 0; 0 ] (bytes_of_floats p00);
+  check_bool "block roundtrip" true (floats_of_bytes (Daf.read_block d [ 1; 2 ]) = p12);
+  check_bool "second block" true (floats_of_bytes (Daf.read_block d [ 0; 0 ]) = p00);
+  (* Unwritten blocks are zeroes. *)
+  check_bool "unwritten zero" true
+    (Array.for_all (( = ) 0.) (floats_of_bytes (Daf.read_block d [ 2; 3 ])));
+  check_bool "bad arity" true
+    (try ignore (Daf.read_block d [ 1 ]); false with Invalid_argument _ -> true);
+  check_bool "out of grid" true
+    (try ignore (Daf.read_block d [ 3; 0 ]); false with Invalid_argument _ -> true)
+
+let test_daf_linearization_column_major () =
+  let l = layout ~grid:[| 3; 4 |] ~block:[| 1; 1 |] in
+  check_int "first column" 1 (Daf.linear_index l [ 1; 0 ]);
+  check_int "second column" 3 (Daf.linear_index l [ 0; 1 ]);
+  check_int "last" 11 (Daf.linear_index l [ 2; 3 ])
+
+(* --- LAB-tree --------------------------------------------------------------- *)
+
+let test_lab_roundtrip () =
+  let l = layout ~grid:[| 4; 4 |] ~block:[| 3; 3 |] in
+  let b = sim () in
+  let t = Lab_tree.create b ~name:"B" ~layout:l in
+  Lab_tree.write_block t [ 2; 1 ] (bytes_of_floats (payload l 21));
+  Lab_tree.write_block t [ 0; 3 ] (bytes_of_floats (payload l 3));
+  check_bool "roundtrip" true
+    (floats_of_bytes (Lab_tree.read_block t [ 2; 1 ]) = payload l 21);
+  check_bool "unwritten zero" true
+    (Array.for_all (( = ) 0.) (floats_of_bytes (Lab_tree.read_block t [ 1; 1 ])));
+  check_int "two blocks" 2 (Lab_tree.block_count t);
+  (* Overwrite stays in place. *)
+  Lab_tree.write_block t [ 2; 1 ] (bytes_of_floats (payload l 99));
+  check_int "still two blocks" 2 (Lab_tree.block_count t);
+  check_bool "overwritten" true
+    (floats_of_bytes (Lab_tree.read_block t [ 2; 1 ]) = payload l 99)
+
+let test_lab_splits () =
+  (* Enough keys to force leaf and internal splits (max 64 per node). *)
+  let l = layout ~grid:[| 100; 100 |] ~block:[| 2; 2 |] in
+  let b = sim () in
+  let t = Lab_tree.create b ~name:"C" ~layout:l in
+  let blocks = List.init 500 (fun i -> [ i mod 100; i / 100 ]) in
+  List.iteri
+    (fun i idx -> Lab_tree.write_block t idx (bytes_of_floats (payload l i)))
+    blocks;
+  check_int "all stored" 500 (Lab_tree.block_count t);
+  check_bool "tree grew" true (Lab_tree.depth t >= 2);
+  List.iteri
+    (fun i idx ->
+      if floats_of_bytes (Lab_tree.read_block t idx) <> payload l i then
+        Alcotest.failf "block %d corrupted after splits" i)
+    blocks
+
+let test_lab_persistence () =
+  (* Re-open from the same backend: meta page must restore the tree. *)
+  let l = layout ~grid:[| 4; 4 |] ~block:[| 2; 2 |] in
+  let b = sim () in
+  let t = Lab_tree.create b ~name:"P" ~layout:l in
+  Lab_tree.write_block t [ 3; 3 ] (bytes_of_floats (payload l 7));
+  let t2 = Lab_tree.create b ~name:"P" ~layout:l in
+  check_bool "reopened" true
+    (floats_of_bytes (Lab_tree.read_block t2 [ 3; 3 ]) = payload l 7)
+
+let test_formats_agree () =
+  let l = layout ~grid:[| 3; 3 |] ~block:[| 4; 4 |] in
+  let b = sim () in
+  let d = Block_store.create b ~format:Block_store.Daf_format ~name:"D1" ~layout:l in
+  let t = Block_store.create b ~format:Block_store.Lab_format ~name:"D2" ~layout:l in
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      let p = payload l ((i * 3) + j) in
+      Block_store.write_floats d [ i; j ] p;
+      Block_store.write_floats t [ i; j ] p
+    done
+  done;
+  for i = 0 to 2 do
+    for j = 0 to 2 do
+      if Block_store.read_floats d [ i; j ] <> Block_store.read_floats t [ i; j ] then
+        Alcotest.failf "formats disagree at (%d,%d)" i j
+    done
+  done
+
+(* --- Buffer pool -------------------------------------------------------------- *)
+
+let mk_store ?(name = "S") b l =
+  Block_store.create b ~format:Block_store.Daf_format ~name ~layout:l
+
+let test_pool_hit_miss () =
+  let l = layout ~grid:[| 4; 1 |] ~block:[| 2; 2 |] in
+  let b = sim () in
+  let s = mk_store b l in
+  Block_store.write_floats s [ 0; 0 ] (payload l 0);
+  let before = b.Backend.stats.Io_stats.reads in
+  let pool = Buffer_pool.create ~cap_bytes:(10 * 32) () in
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);
+  check_int "one physical read" (before + 1) b.Backend.stats.Io_stats.reads;
+  check_bool "contains" true (Buffer_pool.contains pool ("S", [ 0; 0 ]))
+
+let test_pool_eviction_lru () =
+  let l = layout ~grid:[| 4; 1 |] ~block:[| 2; 2 |] in
+  let bb = Config.block_bytes l in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~cap_bytes:(2 * bb) () in
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);
+  ignore (Buffer_pool.get pool s [ 1; 0 ]);
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);  (* refresh 0 *)
+  ignore (Buffer_pool.get pool s [ 2; 0 ]);  (* evicts LRU = block 1 *)
+  check_bool "block 1 evicted" false (Buffer_pool.contains pool ("S", [ 1; 0 ]));
+  check_bool "block 0 kept" true (Buffer_pool.contains pool ("S", [ 0; 0 ]));
+  check_int "peak = cap" (2 * bb) (Buffer_pool.peak_bytes pool)
+
+let test_pool_pinning () =
+  let l = layout ~grid:[| 4; 1 |] ~block:[| 2; 2 |] in
+  let bb = Config.block_bytes l in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~cap_bytes:(2 * bb) () in
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);
+  Buffer_pool.pin pool ("S", [ 0; 0 ]);
+  ignore (Buffer_pool.get pool s [ 1; 0 ]);
+  ignore (Buffer_pool.get pool s [ 2; 0 ]);  (* must evict 1, not pinned 0 *)
+  check_bool "pinned survives" true (Buffer_pool.contains pool ("S", [ 0; 0 ]));
+  check_bool "unpinned evicted" false (Buffer_pool.contains pool ("S", [ 1; 0 ]));
+  (* All pinned -> cannot make room. *)
+  Buffer_pool.pin pool ("S", [ 2; 0 ]);
+  check_bool "insufficient memory raised" true
+    (try ignore (Buffer_pool.get pool s [ 3; 0 ]); false
+     with Buffer_pool.Insufficient_memory _ -> true);
+  Buffer_pool.unpin pool ("S", [ 0; 0 ]);
+  ignore (Buffer_pool.get pool s [ 3; 0 ]);
+  check_bool "after unpin ok" true (Buffer_pool.contains pool ("S", [ 3; 0 ]))
+
+let test_pool_dirty_flush_on_evict () =
+  let l = layout ~grid:[| 3; 1 |] ~block:[| 2; 2 |] in
+  let bb = Config.block_bytes l in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~cap_bytes:(1 * bb) () in
+  let data = Buffer_pool.get_for_write pool s [ 0; 0 ] in
+  data.(0) <- 42.;
+  Buffer_pool.mark_dirty pool ("S", [ 0; 0 ]);
+  ignore (Buffer_pool.get pool s [ 1; 0 ]);  (* evicts and must flush *)
+  check_bool "flushed value" true ((Block_store.read_floats s [ 0; 0 ]).(0) = 42.)
+
+let test_pool_drop_if_dead () =
+  let l = layout ~grid:[| 3; 1 |] ~block:[| 2; 2 |] in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~cap_bytes:1000000 () in
+  let data = Buffer_pool.get_for_write pool s [ 0; 0 ] in
+  data.(0) <- 7.;
+  Buffer_pool.mark_dirty pool ("S", [ 0; 0 ]);
+  Buffer_pool.drop_if_dead pool ("S", [ 0; 0 ]);
+  check_bool "dropped" false (Buffer_pool.contains pool ("S", [ 0; 0 ]));
+  (* Dead data never reached the store. *)
+  check_bool "store untouched" true ((Block_store.read_floats s [ 0; 0 ]).(0) = 0.)
+
+let test_pool_phantom () =
+  let l = layout ~grid:[| 4; 1 |] ~block:[| 1000; 1000 |] in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~phantom:true ~cap_bytes:(3 * Config.block_bytes l) () in
+  let data = Buffer_pool.get pool s [ 0; 0 ] in
+  check_int "no real buffer" 0 (Array.length data);
+  check_int "io accounted" (Config.block_bytes l) b.Backend.stats.Io_stats.bytes_read;
+  check_int "memory accounted" (Config.block_bytes l) (Buffer_pool.used_bytes pool)
+
+let test_lab_on_file_backend () =
+  let root = tmpdir () in
+  let l = layout ~grid:[| 6; 6 |] ~block:[| 3; 3 |] in
+  let b = Backend.file ~root in
+  let t = Lab_tree.create b ~name:"F" ~layout:l in
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      Lab_tree.write_block t [ i; j ] (bytes_of_floats (payload l ((i * 6) + j)))
+    done
+  done;
+  b.Backend.sync ();
+  b.Backend.close ();
+  (* Fresh backend and handle: everything must come back from disk. *)
+  let b2 = Backend.file ~root in
+  let t2 = Lab_tree.create b2 ~name:"F" ~layout:l in
+  check_int "blocks persisted" 36 (Lab_tree.block_count t2);
+  for i = 0 to 5 do
+    for j = 0 to 5 do
+      if floats_of_bytes (Lab_tree.read_block t2 [ i; j ]) <> payload l ((i * 6) + j)
+      then Alcotest.failf "block (%d,%d) lost across restart" i j
+    done
+  done;
+  b2.Backend.close ()
+
+let test_stats_reset () =
+  let b = sim () in
+  b.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.create 100);
+  ignore (b.Backend.pread ~name:"x" ~off:0 ~len:100);
+  Riot_storage.Io_stats.reset b.Backend.stats;
+  check_int "reads reset" 0 b.Backend.stats.Riot_storage.Io_stats.reads;
+  check_int "bytes reset" 0 b.Backend.stats.Riot_storage.Io_stats.bytes_written;
+  check_bool "vtime reset" true (b.Backend.stats.Riot_storage.Io_stats.virtual_time = 0.)
+
+let suite =
+  ( "storage",
+    [ Alcotest.test_case "sim backend" `Quick test_sim_backend_roundtrip;
+      Alcotest.test_case "file backend" `Quick test_file_backend_roundtrip;
+      Alcotest.test_case "discard io" `Quick test_discard_io_counts;
+      Alcotest.test_case "daf roundtrip" `Quick test_daf_roundtrip;
+      Alcotest.test_case "daf column-major" `Quick test_daf_linearization_column_major;
+      Alcotest.test_case "lab roundtrip" `Quick test_lab_roundtrip;
+      Alcotest.test_case "lab splits" `Quick test_lab_splits;
+      Alcotest.test_case "lab persistence" `Quick test_lab_persistence;
+      Alcotest.test_case "formats agree" `Quick test_formats_agree;
+      Alcotest.test_case "pool hit/miss" `Quick test_pool_hit_miss;
+      Alcotest.test_case "pool LRU eviction" `Quick test_pool_eviction_lru;
+      Alcotest.test_case "pool pinning" `Quick test_pool_pinning;
+      Alcotest.test_case "pool dirty flush" `Quick test_pool_dirty_flush_on_evict;
+      Alcotest.test_case "pool drop if dead" `Quick test_pool_drop_if_dead;
+      Alcotest.test_case "pool phantom" `Quick test_pool_phantom;
+      Alcotest.test_case "lab on file backend" `Quick test_lab_on_file_backend;
+      Alcotest.test_case "stats reset" `Quick test_stats_reset ] )
