@@ -5,7 +5,7 @@
      dune exec bench/main.exe              (all experiments, then microbenches)
      dune exec bench/main.exe EXP [...]    (a subset: table2 fig3a fig3b sec61
                                             table3 fig4 fig5 table4 fig6
-                                            opttime validate micro)
+                                            opttime costcheck validate micro)
      dune exec bench/main.exe fig6-fast    (fig6 with the subset size capped)
 
    Absolute numbers come from the machine model calibrated on the paper's
@@ -45,13 +45,26 @@ let find_plan opt lbls =
 
 (* Simulated-disk "actual" I/O time of a costed plan (phantom execution at
    full scale; per-request overhead makes it differ slightly from the linear
-   prediction, like the paper's measurements). *)
+   prediction, like the paper's measurements).  Every phantom run also
+   cross-validates the measured per-array I/O against the plan's prediction,
+   so a silently broken cost model cannot produce a plausible-looking
+   figure. *)
 let actual_io (p : Api.costed_plan) =
   let backend = Api.simulated_backend ~retain_data:false machine in
   let r =
     Engine.run ~compute:false p.Api.cplan ~backend ~format:Block_store.Daf_format
       ~mem_cap:p.Api.memory_bytes
   in
+  let report = Engine.check_cost r p.Api.cplan in
+  if not report.Riot_plan.Cost_check.ok then
+    Printf.printf "[COST-CHECK FAIL] plan %d: %s\n%!" p.Api.plan.Search.index
+      (String.concat "; "
+         (List.map
+            (fun (d : Riot_plan.Cost_check.divergence) ->
+              Printf.sprintf "%s.%s predicted %d actual %d" d.Riot_plan.Cost_check.d_array
+                d.Riot_plan.Cost_check.d_counter d.Riot_plan.Cost_check.d_predicted
+                d.Riot_plan.Cost_check.d_actual)
+            report.Riot_plan.Cost_check.divergences));
   r.Engine.virtual_io_seconds
 
 let pct a b = 100. *. (a -. b) /. a
@@ -401,12 +414,14 @@ let validate () =
       if not ok then all_ok := false;
       if r.Engine.reads <> p.Api.cplan.Cplan.read_ops
          || r.Engine.writes <> p.Api.cplan.Cplan.write_ops
+         || not (Api.check_cost p r).Riot_plan.Cost_check.ok
       then io_exact := false)
     opt.Api.plans;
-  Printf.printf "add_mul: %d plans executed on real data: results %s, I/O counts %s\n"
+  Printf.printf
+    "add_mul: %d plans executed on real data: results %s, I/O counts %s\n"
     (List.length opt.Api.plans)
     (if !all_ok then "all bit-identical to dense reference [PASS]" else "[FAIL]")
-    (if !io_exact then "all equal to prediction [PASS]" else "[FAIL]");
+    (if !io_exact then "all equal to prediction, per array [PASS]" else "[FAIL]");
   (* LAB-tree format spot check. *)
   let backend = sim_backend () in
   let stores = Engine.stores_for backend ~format:Block_store.Lab_format ~config in
@@ -421,6 +436,44 @@ let validate () =
   in
   Printf.printf "add_mul best plan on LAB-tree storage: %s\n"
     (if ok then "[PASS]" else "[FAIL]")
+
+(* --- Cost-model cross-validation (Figure 3(b) property, per array) ---------------- *)
+
+let costcheck () =
+  section "Cost-model cross-validation: predicted vs measured I/O, per array";
+  Printf.printf
+    "(Every distinct cost point of every benchmark program, phantom-executed at\n";
+  Printf.printf
+    " full scale; the executed physical I/O must equal the plan's prediction\n";
+  Printf.printf " exactly, array by array - the paper's Figure 3(b) property.)\n\n";
+  let suites =
+    [ ("add_mul", Lazy.force opt_add_mul);
+      ("two_matmuls A", Lazy.force opt_2mm_a);
+      ("two_matmuls B", Lazy.force opt_2mm_b);
+      ("linear_regression", get_opt_linreg ());
+      ("pig_pipeline",
+        Api.optimize (Programs.pig_pipeline ()) ~config:Programs.pig_config) ]
+  in
+  List.iter
+    (fun (name, opt) ->
+      let plans = Api.distinct_cost_points opt in
+      let bad = ref 0 and arrays = ref 0 in
+      List.iter
+        (fun (p : Api.costed_plan) ->
+          let backend = Api.simulated_backend ~retain_data:false machine in
+          let r =
+            Engine.run ~compute:false p.Api.cplan ~backend
+              ~format:Block_store.Daf_format ~mem_cap:p.Api.memory_bytes
+          in
+          let report = Engine.check_cost r p.Api.cplan in
+          arrays := !arrays + List.length report.Riot_plan.Cost_check.rows;
+          if not report.Riot_plan.Cost_check.ok then incr bad)
+        plans;
+      Printf.printf "%-20s %3d plans, %4d per-array rows checked: %s\n" name
+        (List.length plans) !arrays
+        (if !bad = 0 then "all exact [PASS]"
+         else Printf.sprintf "%d plans diverge [FAIL]" !bad))
+    suites
 
 (* --- Ablations (beyond the paper) ------------------------------------------------ *)
 
@@ -644,6 +697,7 @@ let experiments =
     ("blocksize", ablation_blocksize);
     ("pig", extension_pig);
     ("symbolic", extension_symbolic);
+    ("costcheck", costcheck);
     ("validate", validate);
     ("micro", micro) ]
 

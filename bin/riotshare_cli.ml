@@ -8,7 +8,8 @@
      riotshare blocksize --program NAME --mem-cap MB
 
    Built-in programs: add_mul (Example 1 / Section 6.1), two_matmuls
-   (Section 6.2), linear_regression (Section 6.3).  Built-in configs:
+   (Section 6.2), linear_regression (Section 6.3), pig_pipeline
+   (Section 6.4), dsl_pipeline (the frontend example).  Built-in configs:
    table2, table2_bigblock, table3a, table3b, table4.  A --source file uses
    the mini-Clan grammar (see lib/frontend/parse.mli) and requires --block
    layout directives of the form NAME:BROWSxBCOLS:GROWSxGCOLS. *)
@@ -18,14 +19,53 @@ module Programs = Riot_ops.Programs
 module Parse = Riot_frontend.Parse
 module Config = Riot_ir.Config
 module Engine = Riot_exec.Engine
+module Trace = Riot_exec.Trace
 module Block_store = Riot_storage.Block_store
 
 open Cmdliner
 
+(* The frontend example (examples/dsl_pipeline.ml) as a builtin, so runs and
+   cost checks cover a parsed program too, not just the hand-built IR. *)
+let dsl_pipeline_source =
+  {|
+  param nr, nc, np;
+  input M[nr][nc], N[nr][nc], T[nr][np];
+  intermediate S[nr][nc];
+  output G[nc][nc], P[nc][np];
+
+  for (i = 0; i < nr; i++)
+    for (j = 0; j < nc; j++)
+      S[i,j] = M[i,j] + N[i,j];
+
+  for (i = 0; i < nc; i++)
+    for (j = 0; j < nc; j++)
+      for (k = 0; k < nr; k++)
+        G[i,j] += S'[k,i] * S[k,j];
+
+  for (i = 0; i < nc; i++)
+    for (j = 0; j < np; j++)
+      for (k = 0; k < nr; k++)
+        P[i,j] += S'[k,i] * T[k,j];
+|}
+
+let dsl_pipeline_config =
+  Config.make ~params:[ ("nr", 8); ("nc", 2); ("np", 2) ] ~layouts:[]
+  |> fun c ->
+  let c = Config.matrix c "M" ~block_rows:4000 ~block_cols:4000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "N" ~block_rows:4000 ~block_cols:4000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "S" ~block_rows:4000 ~block_cols:4000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "T" ~block_rows:4000 ~block_cols:2000 ~grid_rows:8 ~grid_cols:2 in
+  let c = Config.matrix c "G" ~block_rows:4000 ~block_cols:4000 ~grid_rows:2 ~grid_cols:2 in
+  Config.matrix c "P" ~block_rows:4000 ~block_cols:2000 ~grid_rows:2 ~grid_cols:2
+
 let builtin_programs =
   [ ("add_mul", (Programs.add_mul, Some Programs.table2));
     ("two_matmuls", (Programs.two_matmuls, Some Programs.table3_config_a));
-    ("linear_regression", (Programs.linear_regression, Some Programs.table4)) ]
+    ("linear_regression", (Programs.linear_regression, Some Programs.table4));
+    ("pig_pipeline", (Programs.pig_pipeline, Some Programs.pig_config));
+    ("dsl_pipeline",
+      ((fun () -> Parse.program ~name:"dsl_pipeline" dsl_pipeline_source),
+        Some dsl_pipeline_config)) ]
 
 let builtin_configs =
   [ ("table2", Programs.table2);
@@ -189,7 +229,8 @@ let optimize_cmd =
 
 (* --- run ----------------------------------------------------------------------- *)
 
-let run program source config params blocks max_size scale format =
+let run program source config params blocks max_size scale format trace stats_per_array
+    check_cost =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
@@ -202,8 +243,15 @@ let run program source config params blocks max_size scale format =
         | "lab" -> Block_store.Lab_format
         | f -> failwith ("unknown format " ^ f)
       in
+      let trace =
+        match trace with
+        | None -> None
+        | Some "text" -> Some (Trace.text Format.err_formatter)
+        | Some "jsonl" -> Some (Trace.jsonl prerr_endline)
+        | Some t -> failwith ("unknown trace format " ^ t ^ " (text or jsonl)")
+      in
       let backend = Api.simulated_backend opt.Api.machine in
-      let result = Api.execute ~compute:false best ~backend ~format in
+      let result = Api.execute ~compute:false ?trace best ~backend ~format in
       Format.printf "executed: %a@." Api.pp_costed best;
       Format.printf
         "block reads: %d (%.1f MB), block writes: %d (%.1f MB)@.simulated I/O time: %.1f s, pool peak: %.1f MB@."
@@ -212,7 +260,27 @@ let run program source config params blocks max_size scale format =
         result.Engine.writes
         (float_of_int result.Engine.bytes_written /. 1048576.)
         result.Engine.virtual_io_seconds
-        (float_of_int result.Engine.pool_peak_bytes /. 1048576.))
+        (float_of_int result.Engine.pool_peak_bytes /. 1048576.);
+      if stats_per_array then begin
+        Format.printf "@.per-array physical I/O:@.";
+        Format.printf "%-10s %-8s %-12s %-8s %-12s@." "array" "reads" "MB read"
+          "writes" "MB written";
+        List.iter
+          (fun (a : Riot_plan.Cost_check.actual) ->
+            Format.printf "%-10s %-8d %-12.1f %-8d %-12.1f@."
+              a.Riot_plan.Cost_check.a_array a.Riot_plan.Cost_check.a_reads
+              (float_of_int a.Riot_plan.Cost_check.a_read_bytes /. 1048576.)
+              a.Riot_plan.Cost_check.a_writes
+              (float_of_int a.Riot_plan.Cost_check.a_write_bytes /. 1048576.)
+          )
+          result.Engine.per_array
+      end;
+      if check_cost then begin
+        let report = Api.check_cost best result in
+        Format.printf "@.%a" Riot_plan.Cost_check.pp_report report;
+        if not report.Riot_plan.Cost_check.ok then
+          failwith "cost check failed: executed I/O diverges from the plan's prediction"
+      end)
 
 let run_cmd =
   Cmd.v
@@ -222,7 +290,20 @@ let run_cmd =
         (const run $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
         $ max_size_arg
         $ Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Divide block dims by N.")
-        $ Arg.(value & opt string "daf" & info [ "format" ] ~doc:"daf or lab.")))
+        $ Arg.(value & opt string "daf" & info [ "format" ] ~doc:"daf or lab.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "trace" ] ~doc:"Stream execution events to stderr (text or jsonl).")
+        $ Arg.(
+            value & flag
+            & info [ "stats-per-array" ] ~doc:"Print measured physical I/O per array.")
+        $ Arg.(
+            value & flag
+            & info [ "check-cost" ]
+                ~doc:
+                  "Cross-validate measured I/O against the plan's prediction; non-zero \
+                   exit on divergence.")))
 
 (* --- codegen ------------------------------------------------------------------- *)
 

@@ -80,9 +80,11 @@ let distinct_cost_points t =
       end)
     t.plans
 
-let execute ?compute ?stores costed ~backend ~format =
-  Engine.run ?compute ?stores costed.cplan ~backend ~format
+let execute ?compute ?stores ?trace costed ~backend ~format =
+  Engine.run ?compute ?stores ?trace costed.cplan ~backend ~format
     ~mem_cap:costed.memory_bytes
+
+let check_cost costed result = Engine.check_cost result costed.cplan
 
 let simulated_backend ?retain_data (m : Machine.t) =
   Backend.sim ?retain_data ~read_bw:m.Machine.read_bw ~write_bw:m.Machine.write_bw

@@ -70,11 +70,17 @@ val distinct_cost_points : t -> costed_plan list
 val execute :
   ?compute:bool ->
   ?stores:(string * Riot_storage.Block_store.t) list ->
+  ?trace:Riot_exec.Trace.sink ->
   costed_plan ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
   Riot_exec.Engine.result
-(** Run the plan with a memory cap equal to its computed requirement. *)
+(** Run the plan with a memory cap equal to its computed requirement.
+    [trace] streams execution events (see {!Riot_exec.Trace}). *)
+
+val check_cost : costed_plan -> Riot_exec.Engine.result -> Riot_plan.Cost_check.report
+(** Cross-validate the plan's predicted per-array I/O against a run's
+    measured counters (the paper's Figure 3(b) property). *)
 
 val simulated_backend : ?retain_data:bool -> Riot_plan.Machine.t -> Riot_storage.Backend.t
 (** A simulated disk matching the machine model. *)

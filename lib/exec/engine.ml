@@ -1,4 +1,5 @@
 module Cplan = Riot_plan.Cplan
+module Cost_check = Riot_plan.Cost_check
 module Config = Riot_ir.Config
 module Access = Riot_ir.Access
 module Stmt = Riot_ir.Stmt
@@ -18,6 +19,7 @@ type result = {
   bytes_read : int;
   bytes_written : int;
   pool_peak_bytes : int;
+  per_array : Cost_check.actual list;
 }
 
 let snapshot backend =
@@ -33,12 +35,42 @@ let stores_for backend ~format ~config =
 
 let key_of (blk : Cplan.block) = (blk.Cplan.array, blk.Cplan.index)
 
+(* Attribute this run's per-stream I/O deltas back to array names through the
+   stores' stream names.  Streams no store claims (none today) keep their raw
+   name so surprise traffic still shows up in cost checks. *)
+let per_array_delta ~before backend stores =
+  let after = Io_stats.stream_counts backend.Backend.stats in
+  let array_of stream =
+    match
+      List.find_opt (fun (_, st) -> Block_store.stream_name st = stream) stores
+    with
+    | Some (name, _) -> name
+    | None -> stream
+  in
+  Io_stats.counts_delta ~before ~after
+  |> List.filter_map (fun (stream, (c : Io_stats.counts)) ->
+         if c.Io_stats.c_reads = 0 && c.Io_stats.c_writes = 0
+            && c.Io_stats.c_bytes_read = 0 && c.Io_stats.c_bytes_written = 0
+         then None
+         else
+           Some
+             { Cost_check.a_array = array_of stream;
+               a_reads = c.Io_stats.c_reads;
+               a_read_bytes = c.Io_stats.c_bytes_read;
+               a_writes = c.Io_stats.c_writes;
+               a_write_bytes = c.Io_stats.c_bytes_written })
+  |> List.sort (fun (a : Cost_check.actual) b ->
+         compare a.Cost_check.a_array b.Cost_check.a_array)
+
 let run_opportunistic (plan : Cplan.t) ~backend ~format ~mem_cap =
   let t0 = Unix.gettimeofday () in
   let vt0, r0, w0, br0, bw0 = snapshot backend in
+  let streams0 = Io_stats.stream_counts backend.Backend.stats in
   let stores = stores_for backend ~format ~config:plan.Cplan.config in
   let store name = List.assoc name stores in
-  let pool = Buffer_pool.create ~phantom:true ~cap_bytes:mem_cap () in
+  let pool =
+    Buffer_pool.create ~phantom:true ~stats:backend.Backend.stats ~cap_bytes:mem_cap ()
+  in
   Array.iter
     (fun (st : Cplan.step) ->
       List.iter
@@ -58,22 +90,39 @@ let run_opportunistic (plan : Cplan.t) ~backend ~format ~mem_cap =
     writes = w1 - w0;
     bytes_read = br1 - br0;
     bytes_written = bw1 - bw0;
-    pool_peak_bytes = Buffer_pool.peak_bytes pool }
+    pool_peak_bytes = Buffer_pool.peak_bytes pool;
+    per_array = per_array_delta ~before:streams0 backend stores }
 
-let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
+let run ?(compute = true) ?stores ?trace (plan : Cplan.t) ~backend ~format ~mem_cap =
   let t0 = Unix.gettimeofday () in
   let vt0 = backend.Backend.stats.Io_stats.virtual_time in
   let r0 = backend.Backend.stats.Io_stats.reads
   and w0 = backend.Backend.stats.Io_stats.writes in
   let br0 = backend.Backend.stats.Io_stats.bytes_read
   and bw0 = backend.Backend.stats.Io_stats.bytes_written in
+  let streams0 = Io_stats.stream_counts backend.Backend.stats in
   let stores =
     match stores with
     | Some s -> s
     | None -> stores_for backend ~format ~config:plan.Cplan.config
   in
   let store name = List.assoc name stores in
-  let pool = Buffer_pool.create ~phantom:(not compute) ~cap_bytes:mem_cap () in
+  (* Eviction events surface through the pool's hook; every other event is
+     emitted at its engine action.  [cur_step] names the step whose demand
+     caused an eviction. *)
+  let cur_step = ref (-1) in
+  let on_evict =
+    match trace with
+    | None -> None
+    | Some s ->
+        Some
+          (fun (array, index) ~dirty ->
+            s.Trace.emit (Trace.Evict { step = !cur_step; array; index; flushed = dirty }))
+  in
+  let pool =
+    Buffer_pool.create ~phantom:(not compute) ~stats:backend.Backend.stats ?on_evict
+      ~cap_bytes:mem_cap ()
+  in
   (* Pin bookkeeping per step index. *)
   let n = Array.length plan.Cplan.steps in
   let pin_start = Array.make n [] and pin_stop = Array.make n [] in
@@ -82,9 +131,28 @@ let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
       if a >= 0 && a < n then pin_start.(a) <- blk :: pin_start.(a);
       if b >= 0 && b < n then pin_stop.(b) <- blk :: pin_stop.(b))
     plan.Cplan.pins;
+  (* Drop a dead block and trace the drop only when it actually happened
+     (the block may be absent, or kept alive by an outer pin). *)
+  let drop_dead i (blk : Cplan.block) =
+    let k = key_of blk in
+    if Buffer_pool.pin_count pool k = 0 && Buffer_pool.contains pool k then begin
+      Buffer_pool.drop_if_dead pool k;
+      match trace with
+      | Some s ->
+          s.Trace.emit
+            (Trace.Drop { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
+      | None -> ()
+    end
+  in
   Array.iteri
     (fun i (st : Cplan.step) ->
+      cur_step := i;
       let s = Program.find_stmt plan.Cplan.prog st.Cplan.stmt in
+      (match trace with
+      | Some sk ->
+          sk.Trace.emit
+            (Trace.Step_begin { step = i; stmt = st.Cplan.stmt; instance = st.Cplan.instance })
+      | None -> ());
       (* 1. Bring read blocks in. *)
       let read_buffers =
         List.map
@@ -98,6 +166,18 @@ let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
                        "engine: step %d expected %s block in memory but it is absent" i
                        blk.Cplan.array)
             | Cplan.From_disk -> ());
+            (match trace with
+            | Some sk ->
+                sk.Trace.emit
+                  (Trace.Read
+                     { step = i;
+                       array = blk.Cplan.array;
+                       index = blk.Cplan.index;
+                       src =
+                         (match src with
+                         | Cplan.From_disk -> Trace.Disk
+                         | Cplan.From_memory -> Trace.Memory) })
+            | None -> ());
             let data = Buffer_pool.get pool bs blk.Cplan.index in
             (a, blk, data))
           st.Cplan.reads
@@ -124,7 +204,15 @@ let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
             Some (wa, blk, dst, buf, bs)
       in
       (* 3. Open pins that start at this step (blocks are resident now). *)
-      List.iter (fun blk -> Buffer_pool.pin pool (key_of blk)) pin_start.(i);
+      List.iter
+        (fun (blk : Cplan.block) ->
+          Buffer_pool.pin pool (key_of blk);
+          match trace with
+          | Some sk ->
+              sk.Trace.emit
+                (Trace.Pin_open { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
+          | None -> ())
+        pin_start.(i);
       (* 4. Compute. *)
       if compute then begin
         (* Operands are resolved by the block they touch: duplicate-block
@@ -186,34 +274,44 @@ let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
       | None -> ()
       | Some (_, blk, dst, _, bs) ->
           Buffer_pool.mark_dirty pool (key_of blk);
+          (match trace with
+          | Some sk ->
+              sk.Trace.emit
+                (Trace.Write
+                   { step = i;
+                     array = blk.Cplan.array;
+                     index = blk.Cplan.index;
+                     elided = (dst = Cplan.Elided) })
+          | None -> ());
           (match dst with
           | Cplan.To_disk -> Buffer_pool.write_through pool bs blk.Cplan.index
           | Cplan.Elided -> ()));
-      (* 6. Close pins ending here; a dirty unpinned buffer is dead (its
-         write was elided and every consumer has been served). *)
+      (* 6. Close pins ending here; a dead unpinned buffer is released (and
+         its data discarded if its write was elided - every consumer has
+         been served). *)
       List.iter
-        (fun blk ->
-          let k = key_of blk in
-          Buffer_pool.unpin pool k;
-          Buffer_pool.drop_if_dead pool k)
+        (fun (blk : Cplan.block) ->
+          Buffer_pool.unpin pool (key_of blk);
+          (match trace with
+          | Some sk ->
+              sk.Trace.emit
+                (Trace.Pin_close { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
+          | None -> ());
+          drop_dead i blk)
         pin_stop.(i);
       (* An elided write with no pin at all is dead immediately. *)
       (match write_buf with
-      | Some (_, blk, Cplan.Elided, _, _) -> Buffer_pool.drop_if_dead pool (key_of blk)
+      | Some (_, blk, Cplan.Elided, _, _) -> drop_dead i blk
       | _ -> ());
       (* Residency follows the plan exactly: unpinned blocks touched by this
          step are released now (write-through already persisted them), so
          physical I/O matches the costed plan rather than depending on
          opportunistic caching. *)
-      let release blk =
-        let k = key_of blk in
-        if Buffer_pool.pin_count pool k = 0 then begin
-          Buffer_pool.drop_if_dead pool k;
-          Buffer_pool.drop pool k
-        end
-      in
-      List.iter (fun (_, blk, _) -> release blk) st.Cplan.reads;
-      List.iter (fun (_, blk, _) -> release blk) st.Cplan.writes)
+      List.iter (fun (_, blk, _) -> drop_dead i blk) st.Cplan.reads;
+      List.iter (fun (_, blk, _) -> drop_dead i blk) st.Cplan.writes;
+      match trace with
+      | Some sk -> sk.Trace.emit (Trace.Step_end { step = i })
+      | None -> ())
     plan.Cplan.steps;
   backend.Backend.sync ();
   let stats = backend.Backend.stats in
@@ -223,4 +321,8 @@ let run ?(compute = true) ?stores (plan : Cplan.t) ~backend ~format ~mem_cap =
     writes = stats.Io_stats.writes - w0;
     bytes_read = stats.Io_stats.bytes_read - br0;
     bytes_written = stats.Io_stats.bytes_written - bw0;
-    pool_peak_bytes = Buffer_pool.peak_bytes pool }
+    pool_peak_bytes = Buffer_pool.peak_bytes pool;
+    per_array = per_array_delta ~before:streams0 backend stores }
+
+let check_cost (result : result) (plan : Cplan.t) =
+  Cost_check.check plan ~actual:result.per_array

@@ -16,11 +16,16 @@ type result = {
   bytes_read : int;
   bytes_written : int;
   pool_peak_bytes : int;
+  per_array : Riot_plan.Cost_check.actual list;
+      (** physical I/O per array (sorted by name, zero-traffic arrays
+          omitted), measured from the backend's per-stream counters and
+          mapped back to array names through the stores' stream names *)
 }
 
 val run :
   ?compute:bool ->
   ?stores:(string * Riot_storage.Block_store.t) list ->
+  ?trace:Trace.sink ->
   Riot_plan.Cplan.t ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
@@ -44,7 +49,11 @@ val run :
     optimizer costed.)
 
     @raise Failure if a memory-serviced read finds its block missing
-    (would indicate an optimizer bug). *)
+    (would indicate an optimizer bug).
+
+    With [trace], every engine action emits a {!Trace.event} into the sink
+    (step boundaries, block reads/writes, pin opens/closes, drops and
+    evictions); without it no event is constructed. *)
 
 val run_opportunistic :
   Riot_plan.Cplan.t ->
@@ -67,3 +76,8 @@ val stores_for :
   (string * Riot_storage.Block_store.t) list
 (** One store per configured array (exposed for data loading in tests,
     examples and benchmarks). *)
+
+val check_cost : result -> Riot_plan.Cplan.t -> Riot_plan.Cost_check.report
+(** [check_cost result plan] diffs the plan's predicted per-array I/O
+    against what [result] measured — the Figure 3(b) cross-validation.
+    Convenience for [Cost_check.check plan ~actual:result.per_array]. *)

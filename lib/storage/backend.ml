@@ -41,7 +41,7 @@ let file ~root =
       end
     in
     fill 0;
-    Io_stats.add_read stats len;
+    Io_stats.add_read ~stream:name stats len;
     buf
   in
   let pwrite ~name ~off ~data =
@@ -55,7 +55,7 @@ let file ~root =
       end
     in
     drain 0;
-    Io_stats.add_write stats len
+    Io_stats.add_write ~stream:name stats len
   in
   let scratch = Bytes.create 65536 in
   let read_discard ~name ~off ~len =
@@ -68,7 +68,7 @@ let file ~root =
       end
     in
     chew len;
-    Io_stats.add_read stats len
+    Io_stats.add_read ~stream:name stats len
   in
   let write_discard ~name ~off ~len =
     let fd = fd_of name in
@@ -81,7 +81,7 @@ let file ~root =
       end
     in
     fill len;
-    Io_stats.add_write stats len
+    Io_stats.add_write ~stream:name stats len
   in
   let size ~name = (Unix.fstat (fd_of name)).Unix.st_size in
   let sync () = Hashtbl.iter (fun _ fd -> Unix.fsync fd) fds in
@@ -110,7 +110,7 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
   let pread ~name ~off ~len =
     stats.Io_stats.virtual_time <-
       stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
-    Io_stats.add_read stats len;
+    Io_stats.add_read ~stream:name stats len;
     if retain_data then begin
       let b = buffer_of name in
       let have = Buffer.length b in
@@ -125,7 +125,7 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
     let len = Bytes.length data in
     stats.Io_stats.virtual_time <-
       stats.Io_stats.virtual_time +. (float_of_int len /. write_bw) +. request_overhead;
-    Io_stats.add_write stats len;
+    Io_stats.add_write ~stream:name stats len;
     Hashtbl.replace sizes name (max (cur_size name) (off + len));
     if retain_data then begin
       let b = buffer_of name in
@@ -148,16 +148,15 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
     end
   in
   let read_discard ~name ~off ~len =
-    ignore name;
     ignore off;
     stats.Io_stats.virtual_time <-
       stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
-    Io_stats.add_read stats len
+    Io_stats.add_read ~stream:name stats len
   in
   let write_discard ~name ~off ~len =
     stats.Io_stats.virtual_time <-
       stats.Io_stats.virtual_time +. (float_of_int len /. write_bw) +. request_overhead;
-    Io_stats.add_write stats len;
+    Io_stats.add_write ~stream:name stats len;
     Hashtbl.replace sizes name (max (cur_size name) (off + len))
   in
   let size ~name = cur_size name in

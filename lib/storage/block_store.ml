@@ -41,3 +41,6 @@ let bytes_of_floats a =
 
 let read_floats t index = floats_of_bytes (read_block t index)
 let write_floats t index a = write_block t index (bytes_of_floats a)
+
+let stream_name t =
+  match t.impl with D d -> Daf.file_name d | L l -> Lab_tree.file_name l

@@ -23,3 +23,7 @@ val read_floats : t -> int list -> float array
 val write_floats : t -> int list -> float array -> unit
 (** Payloads as double-precision arrays (the element type used throughout
     the experiments). *)
+
+val stream_name : t -> string
+(** The backend stream (file name) this store reads and writes, the key of
+    its per-stream [Io_stats] counters. *)

@@ -5,9 +5,13 @@ type buffer = {
   bytes : int;
   store : Block_store.t;
   index : int list;
+  bkey : key;
   mutable dirty : bool;
   mutable pins : int;
-  mutable last_used : int;
+  (* Intrusive doubly-linked recency list: [prev] is toward the LRU end,
+     [next] toward the MRU end.  A resident buffer is always linked. *)
+  mutable prev : buffer option;
+  mutable next : buffer option;
 }
 
 type t = {
@@ -16,43 +20,87 @@ type t = {
   buffers : (key, buffer) Hashtbl.t;
   mutable used : int;
   mutable peak : int;
-  mutable clock : int;
+  mutable lru : buffer option;  (** least recently used end *)
+  mutable mru : buffer option;  (** most recently used end *)
+  stats : Io_stats.t option;
+  on_evict : (key -> dirty:bool -> unit) option;
 }
 
 exception Insufficient_memory of string
 
-let create ?(phantom = false) ~cap_bytes () =
-  { cap = cap_bytes; phantom; buffers = Hashtbl.create 64; used = 0; peak = 0; clock = 0 }
+let create ?(phantom = false) ?stats ?on_evict ~cap_bytes () =
+  { cap = cap_bytes;
+    phantom;
+    buffers = Hashtbl.create 64;
+    used = 0;
+    peak = 0;
+    lru = None;
+    mru = None;
+    stats;
+    on_evict }
 
-let tick t =
-  t.clock <- t.clock + 1;
-  t.clock
+(* --- Recency list ---------------------------------------------------------- *)
+
+let unlink t b =
+  (match b.prev with Some p -> p.next <- b.next | None -> t.lru <- b.next);
+  (match b.next with Some n -> n.prev <- b.prev | None -> t.mru <- b.prev);
+  b.prev <- None;
+  b.next <- None
+
+let push_mru t b =
+  b.prev <- t.mru;
+  b.next <- None;
+  (match t.mru with Some m -> m.next <- Some b | None -> t.lru <- Some b);
+  t.mru <- Some b
+
+let touch t b =
+  match t.mru with
+  | Some m when m == b -> ()
+  | _ ->
+      unlink t b;
+      push_mru t b
+
+let lru_keys t =
+  let rec go acc = function
+    | None -> List.rev acc
+    | Some b -> go (b.bkey :: acc) b.next
+  in
+  go [] t.lru
+
+(* --- Residency ------------------------------------------------------------- *)
 
 let key_of store index = (Block_store.name store, index)
 
-let flush_buffer ~phantom b =
+let stat t f = match t.stats with Some s -> f s | None -> ()
+
+let flush_buffer t b =
   if b.dirty then begin
-    if phantom then Block_store.touch_write b.store b.index
+    if t.phantom then Block_store.touch_write b.store b.index
     else Block_store.write_floats b.store b.index b.data;
-    b.dirty <- false
+    b.dirty <- false;
+    stat t Io_stats.pool_flush
   end
 
+let remove t b =
+  unlink t b;
+  Hashtbl.remove t.buffers b.bkey;
+  t.used <- t.used - b.bytes
+
 let evict_one t =
-  (* LRU among unpinned. *)
-  let victim = ref None in
-  Hashtbl.iter
-    (fun k b ->
-      if b.pins = 0 then
-        match !victim with
-        | Some (_, vb) when vb.last_used <= b.last_used -> ()
-        | _ -> victim := Some (k, b))
-    t.buffers;
-  match !victim with
+  (* LRU among unpinned: first unpinned buffer from the cold end. *)
+  let rec victim = function
+    | None -> None
+    | Some b when b.pins = 0 -> Some b
+    | Some b -> victim b.next
+  in
+  match victim t.lru with
   | None -> false
-  | Some (k, b) ->
-      flush_buffer ~phantom:t.phantom b;
-      Hashtbl.remove t.buffers k;
-      t.used <- t.used - b.bytes;
+  | Some b ->
+      let dirty = b.dirty in
+      flush_buffer t b;
+      remove t b;
+      stat t Io_stats.pool_eviction;
+      (match t.on_evict with Some f -> f b.bkey ~dirty | None -> ());
       true
 
 let make_room t need =
@@ -70,9 +118,18 @@ let install t store index data =
   let bytes = Block_store.block_bytes store in
   make_room t bytes;
   let b =
-    { data; bytes; store; index; dirty = false; pins = 0; last_used = tick t }
+    { data;
+      bytes;
+      store;
+      index;
+      bkey = key_of store index;
+      dirty = false;
+      pins = 0;
+      prev = None;
+      next = None }
   in
-  Hashtbl.replace t.buffers (key_of store index) b;
+  Hashtbl.replace t.buffers b.bkey b;
+  push_mru t b;
   t.used <- t.used + bytes;
   if t.used > t.peak then t.peak <- t.used;
   b
@@ -80,9 +137,11 @@ let install t store index data =
 let get_gen ~load t store index =
   match Hashtbl.find_opt t.buffers (key_of store index) with
   | Some b ->
-      b.last_used <- tick t;
+      touch t b;
+      stat t Io_stats.pool_hit;
       b.data
   | None ->
+      stat t Io_stats.pool_miss;
       let data =
         if t.phantom then begin
           if load then Block_store.touch_read store index;
@@ -122,21 +181,27 @@ let write_through t store index =
 
 let drop t k =
   match Hashtbl.find_opt t.buffers k with
-  | Some b when b.pins = 0 ->
-      Hashtbl.remove t.buffers k;
-      t.used <- t.used - b.bytes
+  | Some b when b.pins = 0 -> remove t b
   | _ -> ()
 
-let drop_if_dead t k =
-  match Hashtbl.find_opt t.buffers k with
-  | Some b when b.pins = 0 && b.dirty ->
-      Hashtbl.remove t.buffers k;
-      t.used <- t.used - b.bytes
-  | _ -> ()
+(* Historically this only dropped *dirty* dead blocks, so a clean block whose
+   consumers were all served lingered in the pool, inflating [used] (and
+   with it [peak], and the eviction pressure on later steps).  A dead block
+   is dead regardless of dirtiness; the dirty case additionally means its
+   elided write is discarded before any eviction could flush it. *)
+let drop_if_dead = drop
 
 let pin_count t k =
   match Hashtbl.find_opt t.buffers k with Some b -> b.pins | None -> 0
 
 let used_bytes t = t.used
 let peak_bytes t = t.peak
-let flush_all t = Hashtbl.iter (fun _ b -> flush_buffer ~phantom:t.phantom b) t.buffers
+
+let flush_all t =
+  let rec go = function
+    | None -> ()
+    | Some b ->
+        flush_buffer t b;
+        go b.next
+  in
+  go t.lru

@@ -2,19 +2,32 @@
 
     The execution engine keeps every block it touches in a pool buffer;
     realized sharing opportunities pin blocks across their reuse interval so
-    they cannot be evicted.  Unpinned buffers are evicted LRU; dirty victims
-    are flushed through their store unless explicitly dropped (elided writes
-    of dead intermediate blocks). *)
+    they cannot be evicted.  Unpinned buffers are evicted LRU - recency is
+    kept in an intrusive doubly-linked list, so a hit and an eviction are
+    O(1) (an eviction skips any pinned buffers at the cold end) - and dirty
+    victims are flushed through their store unless explicitly dropped
+    (elided writes of dead intermediate blocks). *)
 
 type t
 
 exception Insufficient_memory of string
 
-val create : ?phantom:bool -> cap_bytes:int -> unit -> t
+val create :
+  ?phantom:bool ->
+  ?stats:Io_stats.t ->
+  ?on_evict:(string * int list -> dirty:bool -> unit) ->
+  cap_bytes:int ->
+  unit ->
+  t
 (** With [phantom] (default false) buffers hold no data: reads and writes
     are accounted through the store ([touch_read]/[touch_write]) and memory
     is tracked logically.  Used for full-scale simulated runs where a block
-    can be gigabytes. *)
+    can be gigabytes.
+
+    [stats] receives the pool's hit/miss/eviction/flush counts (typically
+    the backend's [Io_stats.t], so one value aggregates physical and cache
+    behaviour).  [on_evict] is called after a buffer has been evicted (and,
+    when dirty, flushed) - the execution engine uses it to trace evictions. *)
 
 val get : t -> Block_store.t -> int list -> float array
 (** Return the block's buffer, reading through the store when absent
@@ -37,15 +50,24 @@ val write_through : t -> Block_store.t -> int list -> unit
     @raise Invalid_argument if absent. *)
 
 val drop : t -> string * int list -> unit
-(** Remove without flushing (dead data). No-op if absent; pinned blocks
-    cannot be dropped. *)
+(** Release the block's buffer without flushing.  The caller asserts the
+    buffered data is dead: if the buffer is dirty its contents are
+    silently discarded (this is the point - an elided write must never
+    reach the store), so never call this on a block whose write-back is
+    still pending.  No-op if the block is absent or pinned. *)
 
 val drop_if_dead : t -> string * int list -> unit
-(** Drop the buffer when it is unpinned and dirty: an elided write whose
-    consumers have all been served holds dead data that must never be
-    flushed by eviction. *)
+(** Same behaviour as {!drop}; the name states the intent at pin-close
+    sites.  A dead block - unpinned, every consumer served - is released
+    whether clean (pure residency) or dirty (elided write whose data must
+    never be flushed by a later eviction).  Before this was fixed, clean
+    dead blocks were kept resident and inflated [used_bytes]/[peak_bytes]. *)
 
 val pin_count : t -> string * int list -> int
+
+val lru_keys : t -> (string * int list) list
+(** Resident blocks in recency order, least recently used first (exposed
+    for tests asserting eviction order). *)
 
 val used_bytes : t -> int
 val peak_bytes : t -> int

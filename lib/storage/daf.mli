@@ -23,3 +23,6 @@ val touch_write : t -> int list -> unit
 
 val linear_index : Riot_ir.Config.layout -> int list -> int
 (** Column-major linearisation (exposed for tests). *)
+
+val file_name : t -> string
+(** The backend stream holding this array (for per-stream I/O attribution). *)

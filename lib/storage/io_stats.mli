@@ -1,8 +1,33 @@
 (** Mutable I/O counters shared by a backend and everything above it.
 
+    Besides the aggregate counters of the original design, a stats value now
+    keeps a per-stream breakdown (one {!stream} per backend file name, i.e.
+    per stored array) with request-size histograms, and the buffer-pool
+    counters (hit/miss/eviction/flush) threaded in by {!Buffer_pool}.  The
+    per-stream view is what lets predicted-vs-actual I/O divergence be
+    attributed to a specific array (the Figure 3(b) property, checked per
+    array by [Riot_plan.Cost_check]).
+
     [virtual_time] is advanced by the simulated backend according to its
     bandwidth model; the file backend leaves it at zero and wall-clock time
     is measured by the caller instead. *)
+
+type stream = {
+  mutable s_reads : int;
+  mutable s_writes : int;
+  mutable s_bytes_read : int;
+  mutable s_bytes_written : int;
+  s_read_hist : int array;  (** request count per power-of-two size bucket *)
+  s_write_hist : int array;
+}
+
+type counts = {
+  c_reads : int;
+  c_writes : int;
+  c_bytes_read : int;
+  c_bytes_written : int;
+}
+(** An immutable snapshot of one stream's counters. *)
 
 type t = {
   mutable reads : int;
@@ -10,10 +35,43 @@ type t = {
   mutable bytes_read : int;
   mutable bytes_written : int;
   mutable virtual_time : float;  (** seconds *)
+  streams : (string, stream) Hashtbl.t;
+  mutable pool_hits : int;
+  mutable pool_misses : int;
+  mutable pool_evictions : int;
+  mutable pool_flushes : int;
 }
 
 val create : unit -> t
+
 val reset : t -> unit
-val add_read : t -> int -> unit
-val add_write : t -> int -> unit
+(** Zero every aggregate, per-stream and pool counter. *)
+
+val add_read : ?stream:string -> t -> int -> unit
+(** Count one read of [n] bytes; with [stream] also attribute it to that
+    stream's counters and size histogram. *)
+
+val add_write : ?stream:string -> t -> int -> unit
+
+val pool_hit : t -> unit
+val pool_miss : t -> unit
+val pool_eviction : t -> unit
+val pool_flush : t -> unit
+
+val stream_counts : t -> (string * counts) list
+(** Snapshot of every stream's counters, sorted by stream name. *)
+
+val counts_delta :
+  before:(string * counts) list -> after:(string * counts) list ->
+  (string * counts) list
+(** Per-stream difference [after - before]; streams absent from [before]
+    count from zero.  Used to attribute the I/O of one engine run when the
+    same backend already served earlier traffic (data loading). *)
+
+val stream_read_hist : t -> string -> (int * int) list
+(** [(bucket_floor_bytes, requests)] for each non-empty power-of-two request
+    size bucket of the stream ([] for unknown streams). *)
+
+val stream_write_hist : t -> string -> (int * int) list
+
 val pp : Format.formatter -> t -> unit

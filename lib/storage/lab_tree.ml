@@ -265,3 +265,4 @@ let rec depth_node t id =
   | Internal (_, []) -> 1
 
 let depth t = depth_node t t.root
+let file_name t = t.file

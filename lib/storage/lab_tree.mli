@@ -34,3 +34,6 @@ val block_count : t -> int
 
 val depth : t -> int
 (** Height of the tree (root = 1; exposed for tests). *)
+
+val file_name : t -> string
+(** The backend stream holding this array (for per-stream I/O attribution). *)

@@ -233,6 +233,107 @@ let test_pool_drop_if_dead () =
   (* Dead data never reached the store. *)
   check_bool "store untouched" true ((Block_store.read_floats s [ 0; 0 ]).(0) = 0.)
 
+let test_pool_drop_clean_dead () =
+  (* Regression: drop_if_dead used to release only dirty buffers, so clean
+     dead blocks (read, consumed, never written) lingered and inflated
+     used/peak accounting until eviction pressure hit them. *)
+  let l = layout ~grid:[| 3; 1 |] ~block:[| 2; 2 |] in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~cap_bytes:1000000 () in
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);  (* clean: straight from disk *)
+  let used = Buffer_pool.used_bytes pool in
+  check_bool "resident before" true (Buffer_pool.contains pool ("S", [ 0; 0 ]));
+  Buffer_pool.drop_if_dead pool ("S", [ 0; 0 ]);
+  check_bool "clean dead block dropped" false (Buffer_pool.contains pool ("S", [ 0; 0 ]));
+  check_int "memory released" (used - Config.block_bytes l) (Buffer_pool.used_bytes pool);
+  (* A pinned block is not dead, clean or dirty. *)
+  ignore (Buffer_pool.get pool s [ 1; 0 ]);
+  Buffer_pool.pin pool ("S", [ 1; 0 ]);
+  Buffer_pool.drop_if_dead pool ("S", [ 1; 0 ]);
+  check_bool "pinned block survives" true (Buffer_pool.contains pool ("S", [ 1; 0 ]))
+
+let test_pool_lru_order () =
+  (* The intrusive LRU list orders buffers least- to most-recently used, and
+     eviction consumes it from the cold end, skipping pinned buffers. *)
+  let l = layout ~grid:[| 6; 1 |] ~block:[| 2; 2 |] in
+  let bb = Config.block_bytes l in
+  let b = sim () in
+  let s = mk_store b l in
+  let pool = Buffer_pool.create ~cap_bytes:(4 * bb) () in
+  List.iter (fun i -> ignore (Buffer_pool.get pool s [ i; 0 ])) [ 0; 1; 2; 3 ];
+  Alcotest.(check (list (pair string (list int))))
+    "insertion order"
+    [ ("S", [ 0; 0 ]); ("S", [ 1; 0 ]); ("S", [ 2; 0 ]); ("S", [ 3; 0 ]) ]
+    (Buffer_pool.lru_keys pool);
+  ignore (Buffer_pool.get pool s [ 1; 0 ]);  (* touch 1 -> most recent *)
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);  (* touch 0 -> most recent *)
+  Alcotest.(check (list (pair string (list int))))
+    "touches reorder"
+    [ ("S", [ 2; 0 ]); ("S", [ 3; 0 ]); ("S", [ 1; 0 ]); ("S", [ 0; 0 ]) ]
+    (Buffer_pool.lru_keys pool);
+  Buffer_pool.pin pool ("S", [ 2; 0 ]);
+  ignore (Buffer_pool.get pool s [ 4; 0 ]);  (* 2 is pinned: 3 is the victim *)
+  check_bool "pinned cold block skipped" true (Buffer_pool.contains pool ("S", [ 2; 0 ]));
+  check_bool "next-coldest evicted" false (Buffer_pool.contains pool ("S", [ 3; 0 ]));
+  Buffer_pool.unpin pool ("S", [ 2; 0 ]);
+  ignore (Buffer_pool.get pool s [ 5; 0 ]);  (* now 2 goes *)
+  check_bool "unpinned cold block evicted" false
+    (Buffer_pool.contains pool ("S", [ 2; 0 ]));
+  Alcotest.(check (list (pair string (list int))))
+    "final order"
+    [ ("S", [ 1; 0 ]); ("S", [ 0; 0 ]); ("S", [ 4; 0 ]); ("S", [ 5; 0 ]) ]
+    (Buffer_pool.lru_keys pool)
+
+let test_pool_stats_counters () =
+  (* Pool hits/misses/evictions/flushes land in the backend's Io_stats when
+     the pool is created with ~stats. *)
+  let l = layout ~grid:[| 4; 1 |] ~block:[| 2; 2 |] in
+  let bb = Config.block_bytes l in
+  let b = sim () in
+  let s = mk_store b l in
+  let st = b.Backend.stats in
+  let pool = Buffer_pool.create ~stats:st ~cap_bytes:(2 * bb) () in
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);          (* miss *)
+  ignore (Buffer_pool.get pool s [ 0; 0 ]);          (* hit *)
+  let d = Buffer_pool.get_for_write pool s [ 1; 0 ] in  (* miss (no read) *)
+  d.(0) <- 1.;
+  Buffer_pool.mark_dirty pool ("S", [ 1; 0 ]);
+  ignore (Buffer_pool.get pool s [ 2; 0 ]);  (* miss; evicts 0 (clean) *)
+  ignore (Buffer_pool.get pool s [ 3; 0 ]);  (* miss; evicts dirty 1 -> flush *)
+  check_int "hits" 1 st.Io_stats.pool_hits;
+  check_int "misses" 4 st.Io_stats.pool_misses;
+  check_int "evictions" 2 st.Io_stats.pool_evictions;
+  check_int "flushes" 1 st.Io_stats.pool_flushes
+
+let test_per_stream_stats () =
+  let b = sim () in
+  b.Backend.pwrite ~name:"x.daf" ~off:0 ~data:(Bytes.create 100);
+  b.Backend.pwrite ~name:"y.daf" ~off:0 ~data:(Bytes.create 300);
+  ignore (b.Backend.pread ~name:"x.daf" ~off:0 ~len:100);
+  ignore (b.Backend.pread ~name:"x.daf" ~off:0 ~len:50);
+  let counts = Io_stats.stream_counts b.Backend.stats in
+  let x = List.assoc "x.daf" counts and y = List.assoc "y.daf" counts in
+  check_int "x reads" 2 x.Io_stats.c_reads;
+  check_int "x bytes read" 150 x.Io_stats.c_bytes_read;
+  check_int "x writes" 1 x.Io_stats.c_writes;
+  check_int "y writes" 1 y.Io_stats.c_writes;
+  check_int "y bytes written" 300 y.Io_stats.c_bytes_written;
+  check_int "y reads" 0 y.Io_stats.c_reads;
+  (* Aggregates still see everything. *)
+  check_int "aggregate reads" 2 b.Backend.stats.Io_stats.reads;
+  check_int "aggregate bytes written" 400 b.Backend.stats.Io_stats.bytes_written;
+  (* The read-size histogram bucketed both requests by power of two. *)
+  let hist = Io_stats.stream_read_hist b.Backend.stats "x.daf" in
+  check_int "two histogram entries" 2 (List.length hist);
+  check_int "total histogrammed" 2 (List.fold_left (fun a (_, n) -> a + n) 0 hist);
+  (* Deltas count streams absent from the snapshot from zero. *)
+  let before = counts in
+  ignore (b.Backend.pread ~name:"z.daf" ~off:0 ~len:300);
+  let delta = Io_stats.counts_delta ~before ~after:(Io_stats.stream_counts b.Backend.stats) in
+  check_int "new stream from zero" 1 (List.assoc "z.daf" delta).Io_stats.c_reads;
+  check_int "quiet stream zero delta" 0 (List.assoc "x.daf" delta).Io_stats.c_reads
+
 let test_pool_phantom () =
   let l = layout ~grid:[| 4; 1 |] ~block:[| 1000; 1000 |] in
   let b = sim () in
@@ -292,6 +393,10 @@ let suite =
       Alcotest.test_case "pool pinning" `Quick test_pool_pinning;
       Alcotest.test_case "pool dirty flush" `Quick test_pool_dirty_flush_on_evict;
       Alcotest.test_case "pool drop if dead" `Quick test_pool_drop_if_dead;
+      Alcotest.test_case "pool drops clean dead blocks" `Quick test_pool_drop_clean_dead;
+      Alcotest.test_case "pool LRU order" `Quick test_pool_lru_order;
+      Alcotest.test_case "pool stats counters" `Quick test_pool_stats_counters;
+      Alcotest.test_case "per-stream stats" `Quick test_per_stream_stats;
       Alcotest.test_case "pool phantom" `Quick test_pool_phantom;
       Alcotest.test_case "lab on file backend" `Quick test_lab_on_file_backend;
       Alcotest.test_case "stats reset" `Quick test_stats_reset ] )
