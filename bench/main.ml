@@ -311,27 +311,133 @@ let fig6 () =
 
 (* --- Optimization time --------------------------------------------------------- *)
 
+let jobs_flag = ref None
+
+let effective_jobs () =
+  match !jobs_flag with Some j -> j | None -> Riot_base.Pool.default_jobs ()
+
+(* One optimization-time measurement: a fresh sequential run, and — when more
+   than one domain is available — a fresh parallel run whose plan set and
+   costs must be identical (the search's determinism contract; a mismatch
+   fails the harness). *)
+type opttime_row = {
+  ot_name : string;
+  ot_paper : string;
+  ot_seq : float;
+  ot_par : float option;  (* wall seconds under [jobs] domains *)
+  ot_jobs : int;
+  ot_plans : int;
+  ot_tried : int;
+  ot_pruned : int;
+  ot_opps : int;
+  ot_deterministic : bool;
+}
+
+let plan_signature (opt : Api.t) =
+  List.map
+    (fun (p : Api.costed_plan) ->
+      (p.Api.plan.Search.index, labels p, p.Api.predicted_io_seconds, p.Api.memory_bytes))
+    opt.Api.plans
+
+let opttime_measure ?max_size name paper prog config =
+  let time f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    (r, Unix.gettimeofday () -. t0)
+  in
+  let o_seq, seq = time (fun () -> Api.optimize ~jobs:1 ?max_size prog ~config) in
+  let jobs = effective_jobs () in
+  let par, deterministic =
+    if jobs <= 1 then (None, true)
+    else begin
+      let o_par, par = time (fun () -> Api.optimize ~jobs ?max_size prog ~config) in
+      (Some par, plan_signature o_seq = plan_signature o_par)
+    end
+  in
+  { ot_name = name;
+    ot_paper = paper;
+    ot_seq = seq;
+    ot_par = par;
+    ot_jobs = jobs;
+    ot_plans = List.length o_seq.Api.plans;
+    ot_tried = o_seq.Api.search_stats.Search.candidates_tried;
+    ot_pruned = o_seq.Api.search_stats.Search.pruned;
+    ot_opps = List.length o_seq.Api.analysis.Deps.sharing;
+    ot_deterministic = deterministic }
+
+let opttime_json_file = "BENCH_opttime.json"
+
+let opttime_emit rows =
+  Printf.printf "%-26s %-10s %-10s %-10s %-9s %-12s %-14s %s\n" "program" "paper (s)"
+    "seq (s)" "par (s)" "speedup" "candidates" "never tried" "identical";
+  List.iter
+    (fun r ->
+      let space = 1 lsl r.ot_opps in
+      Printf.printf "%-26s %-10s %-10.1f %-10s %-9s %-12d %d/%d (%.0f%%) %s\n" r.ot_name
+        r.ot_paper r.ot_seq
+        (match r.ot_par with Some p -> Printf.sprintf "%.1f" p | None -> "-")
+        (match r.ot_par with
+        | Some p when p > 0. -> Printf.sprintf "%.2fx" (r.ot_seq /. p)
+        | _ -> "-")
+        r.ot_tried (space - r.ot_tried) space
+        (100. *. float_of_int (space - r.ot_tried) /. float_of_int space)
+        (if r.ot_deterministic then "yes" else "NO [FAIL]"))
+    rows;
+  (* Machine-readable trajectory for cross-PR tracking. *)
+  let oc = open_out opttime_json_file in
+  let row_json r =
+    let space = 1 lsl r.ot_opps in
+    Printf.sprintf
+      "  {\"program\": %S, \"paper_seconds\": %s, \"sequential_seconds\": %.3f, \
+       \"parallel_seconds\": %s, \"jobs\": %d, \"speedup\": %s, \"plans\": %d, \
+       \"candidates_tried\": %d, \"apriori_pruned\": %d, \"search_space\": %d, \
+       \"pruned_ratio\": %.4f, \"deterministic\": %b}"
+      r.ot_name r.ot_paper r.ot_seq
+      (match r.ot_par with Some p -> Printf.sprintf "%.3f" p | None -> "null")
+      r.ot_jobs
+      (match r.ot_par with
+      | Some p when p > 0. -> Printf.sprintf "%.3f" (r.ot_seq /. p)
+      | _ -> "null")
+      r.ot_plans r.ot_tried r.ot_pruned space
+      (float_of_int (space - r.ot_tried) /. float_of_int space)
+      r.ot_deterministic
+  in
+  Printf.fprintf oc "[\n%s\n]\n" (String.concat ",\n" (List.map row_json rows));
+  close_out oc;
+  Printf.printf "\n(wrote %s; jobs=%d, set with --jobs or RIOT_JOBS)\n" opttime_json_file
+    (effective_jobs ());
+  if List.exists (fun r -> not r.ot_deterministic) rows then
+    failwith "opttime: parallel plan set diverged from sequential"
+
 let opttime () =
   section "Optimization time (Section 6, 'A Note on Optimization Time')";
-  Printf.printf "%-26s %-12s %-14s %-12s %-14s\n" "program" "paper (s)" "measured (s)"
-    "candidates" "never tried";
-  let row name paper (opt : Api.t) n_opps =
-    let tried = opt.Api.search_stats.Search.candidates_tried in
-    let space = 1 lsl n_opps in
-    Printf.printf "%-26s %-12s %-14.1f %-12d %d/%d (%.0f%%)\n" name paper
-      opt.Api.search_stats.Search.elapsed tried (space - tried) space
-      (100. *. float_of_int (space - tried) /. float_of_int space)
+  let rows =
+    [ opttime_measure "add+mul (6.1)" "0.6" (Programs.add_mul ()) Programs.table2;
+      opttime_measure "two matmuls (6.2)" "2.1" (Programs.two_matmuls ())
+        Programs.table3_config_a;
+      opttime_measure ?max_size:!fig6_max_size "linear regression (6.3)" "156.7"
+        (Programs.linear_regression ()) Programs.table4 ]
   in
-  let o1 = Lazy.force opt_add_mul in
-  row "add+mul (6.1)" "0.6" o1 (List.length o1.Api.analysis.Deps.sharing);
-  let o2 = Lazy.force opt_2mm_a in
-  row "two matmuls (6.2)" "2.1" o2 (List.length o2.Api.analysis.Deps.sharing);
-  let o3 = get_opt_linreg () in
-  row "linear regression (6.3)" "156.7" o3 (List.length o3.Api.analysis.Deps.sharing);
+  opttime_emit rows;
   Printf.printf
     "\n(The paper prunes 94%% of the linear-regression search space; its optimizer\n";
   Printf.printf
-    " is single-threaded Python, ours is OCaml, so wall times are comparable only in shape.)\n"
+    " is single-threaded Python, ours is OCaml on %d domain(s), so wall times are\n"
+    (effective_jobs ());
+  Printf.printf " comparable only in shape.)\n"
+
+(* Fast determinism + speedup smoke for @runtest-quick: the small programs
+   only, forcing at least two domains so the parallel path is exercised even
+   where RIOT_JOBS is unset on a single-core host. *)
+let opttime_smoke () =
+  section "Optimization time (smoke): parallel search determinism";
+  if effective_jobs () <= 1 then jobs_flag := Some 2;
+  let rows =
+    [ opttime_measure "add+mul (6.1)" "0.6" (Programs.add_mul ()) Programs.table2;
+      opttime_measure ~max_size:2 "two matmuls (6.2, k<=2)" "2.1"
+        (Programs.two_matmuls ()) Programs.table3_config_a ]
+  in
+  opttime_emit rows
 
 (* --- Validation: real execution at reduced scale -------------------------------- *)
 
@@ -693,6 +799,7 @@ let experiments =
     ("table4", table4);
     ("fig6", fig6);
     ("opttime", opttime);
+    ("opttime-smoke", opttime_smoke);
     ("ablation", ablation_lru);
     ("blocksize", ablation_blocksize);
     ("pig", extension_pig);
@@ -703,6 +810,19 @@ let experiments =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* Pull out --jobs N (domains for the parallel optimizer runs; default
+     RIOT_JOBS, then Domain.recommended_domain_count). *)
+  let rec strip_jobs = function
+    | [] -> []
+    | "--jobs" :: n :: rest | "-j" :: n :: rest -> (
+        match int_of_string_opt n with
+        | Some j when j >= 1 ->
+            jobs_flag := Some j;
+            strip_jobs rest
+        | _ -> failwith (Printf.sprintf "--jobs: bad value %S" n))
+    | a :: rest -> a :: strip_jobs rest
+  in
+  let args = strip_jobs args in
   let args =
     List.filter
       (fun a ->
@@ -713,7 +833,11 @@ let () =
         else true)
       args
   in
-  let args = if args = [] then List.map fst experiments else args in
+  let args =
+    if args = [] then
+      List.filter (fun n -> n <> "opttime-smoke") (List.map fst experiments)
+    else args
+  in
   let t0 = Unix.gettimeofday () in
   List.iter
     (fun name ->

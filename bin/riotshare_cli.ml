@@ -2,8 +2,9 @@
 
      riotshare analyze  (--program NAME | --source FILE)
      riotshare optimize (--program NAME | --source FILE) [--config NAME]
-                        [--mem-cap MB] [--max-size N]
+                        [--mem-cap MB] [--max-size N] [--jobs N]
      riotshare run      --program NAME [--config NAME] [--scale N] [--format daf|lab]
+                        [--jobs N]
      riotshare codegen  (--program NAME | --source FILE) [--original]
      riotshare blocksize --program NAME --mem-cap MB
 
@@ -161,6 +162,16 @@ let mem_cap_arg =
     & opt (some int) None
     & info [ "mem-cap" ] ~doc:"Memory cap in MB for plan selection.")
 
+let jobs_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "jobs"; "j" ]
+        ~doc:
+          "Domains for the parallel plan search and costing (default: \
+           $(b,RIOT_JOBS) or the machine's core count). Any value produces \
+           the same plans and costs as --jobs 1.")
+
 let handle f = try `Ok (f ()) with Failure msg | Parse.Error msg -> `Error (false, msg)
 
 (* --- analyze ------------------------------------------------------------------ *)
@@ -191,11 +202,11 @@ let analyze_cmd =
 
 (* --- optimize ------------------------------------------------------------------ *)
 
-let optimize program source config params blocks max_size mem_cap explain =
+let optimize program source config params blocks max_size mem_cap jobs explain =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
-      let opt = Api.optimize ?max_size prog ~config in
+      let opt = Api.optimize ?max_size ?jobs prog ~config in
       Format.printf "%a@.@." Api.pp_summary opt;
       let mem_cap_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem_cap in
       let plan0 = Api.original opt in
@@ -224,18 +235,18 @@ let optimize_cmd =
     Term.(
       ret
         (const optimize $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
-        $ max_size_arg $ mem_cap_arg
+        $ max_size_arg $ mem_cap_arg $ jobs_arg
         $ Arg.(value & flag & info [ "explain" ] ~doc:"Per-array I/O breakdown.")))
 
 (* --- run ----------------------------------------------------------------------- *)
 
-let run program source config params blocks max_size scale format trace stats_per_array
-    check_cost =
+let run program source config params blocks max_size jobs scale format trace
+    stats_per_array check_cost =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
       let config = if scale > 1 then Programs.scale_down ~factor:scale config else config in
-      let opt = Api.optimize ?max_size prog ~config in
+      let opt = Api.optimize ?max_size ?jobs prog ~config in
       let best = Api.best opt in
       let format =
         match format with
@@ -288,7 +299,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
-        $ max_size_arg
+        $ max_size_arg $ jobs_arg
         $ Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Divide block dims by N.")
         $ Arg.(value & opt string "daf" & info [ "format" ] ~doc:"daf or lab.")
         $ Arg.(
@@ -334,7 +345,7 @@ let codegen_cmd =
 
 (* --- blocksize ------------------------------------------------------------------ *)
 
-let blocksize program source config params blocks max_size mem_cap =
+let blocksize program source config params blocks max_size mem_cap jobs =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let base = resolve_config ~default ~config ~params ~blocks in
@@ -344,7 +355,7 @@ let blocksize program source config params blocks max_size mem_cap =
         | None -> failwith "--mem-cap is required for block-size selection"
       in
       let choices, winner =
-        Riotshare.Block_select.jointly_optimize ?max_size prog ~base ~mem_cap_bytes
+        Riotshare.Block_select.jointly_optimize ?max_size ?jobs prog ~base ~mem_cap_bytes
       in
       List.iter
         (fun (c : Riotshare.Block_select.choice) ->
@@ -363,7 +374,7 @@ let blocksize_cmd =
     Term.(
       ret
         (const blocksize $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
-        $ max_size_arg $ mem_cap_arg))
+        $ max_size_arg $ mem_cap_arg $ jobs_arg))
 
 let () =
   let info = Cmd.info "riotshare" ~version:"1.0.0" ~doc:"Polyhedral I/O-sharing optimizer." in

@@ -1,0 +1,137 @@
+let default_jobs () =
+  match Sys.getenv_opt "RIOT_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | _ -> 1)
+  | None -> Domain.recommended_domain_count ()
+
+(* Workers block on [work_ready] until a new batch (higher epoch) appears, run
+   its chunk-runner to exhaustion, then report in on [batch_done].  A batch's
+   chunk-runner owns all per-batch state (atomic item counter, result slots,
+   first-exception slot), so the pool itself carries no per-item state. *)
+type t = {
+  size : int;
+  m : Mutex.t;
+  work_ready : Condition.t;
+  batch_done : Condition.t;
+  mutable batch : (unit -> unit) option;
+  mutable epoch : int;
+  mutable active : int;  (* workers still inside the current batch *)
+  mutable stop : bool;
+  mutable workers : unit Domain.t list;
+}
+
+let jobs t = t.size
+
+let worker t =
+  let last_epoch = ref 0 in
+  let rec loop () =
+    Mutex.lock t.m;
+    while (not t.stop) && (t.batch = None || t.epoch = !last_epoch) do
+      Condition.wait t.work_ready t.m
+    done;
+    if t.stop then Mutex.unlock t.m
+    else begin
+      let run = Option.get t.batch in
+      last_epoch := t.epoch;
+      Mutex.unlock t.m;
+      (* Chunk-runners never raise: item exceptions are captured per batch. *)
+      run ();
+      Mutex.lock t.m;
+      t.active <- t.active - 1;
+      if t.active = 0 then Condition.broadcast t.batch_done;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create ?jobs () =
+  let size = match jobs with Some j -> j | None -> default_jobs () in
+  if size < 1 then invalid_arg "Pool.create: jobs must be >= 1";
+  let t =
+    { size;
+      m = Mutex.create ();
+      work_ready = Condition.create ();
+      batch_done = Condition.create ();
+      batch = None;
+      epoch = 0;
+      active = 0;
+      stop = false;
+      workers = [] }
+  in
+  t.workers <- List.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let already = t.stop in
+  t.stop <- true;
+  Condition.broadcast t.work_ready;
+  Mutex.unlock t.m;
+  if not already then List.iter Domain.join t.workers
+
+let with_pool ?jobs f =
+  let t = create ?jobs () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
+
+(* Run [body i] for every [i < n] across the pool; [body] must not raise. *)
+let run_batch t ~n body =
+  let next = Atomic.make 0 in
+  let runner () =
+    let rec go () =
+      let i = Atomic.fetch_and_add next 1 in
+      if i < n then begin
+        body i;
+        go ()
+      end
+    in
+    go ()
+  in
+  if t.size = 1 || n <= 1 then runner ()
+  else begin
+    Mutex.lock t.m;
+    if t.stop then begin
+      Mutex.unlock t.m;
+      invalid_arg "Pool: used after shutdown"
+    end;
+    t.batch <- Some runner;
+    t.epoch <- t.epoch + 1;
+    t.active <- List.length t.workers;
+    Condition.broadcast t.work_ready;
+    Mutex.unlock t.m;
+    runner ();
+    Mutex.lock t.m;
+    while t.active > 0 do
+      Condition.wait t.batch_done t.m
+    done;
+    t.batch <- None;
+    Mutex.unlock t.m
+  end
+
+let map_array t f xs =
+  let n = Array.length xs in
+  let results = Array.make n None in
+  let failure = Atomic.make None in
+  run_batch t ~n (fun i ->
+      if Atomic.get failure = None then
+        match f xs.(i) with
+        | y -> results.(i) <- Some y
+        | exception e ->
+            let bt = Printexc.get_raw_backtrace () in
+            ignore (Atomic.compare_and_set failure None (Some (e, bt))));
+  match Atomic.get failure with
+  | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+  | None -> Array.map Option.get results
+
+let map t f xs =
+  if t.size = 1 then List.map f xs
+  else Array.to_list (map_array t f (Array.of_list xs))
+
+let filter_map t f xs =
+  if t.size = 1 then List.filter_map f xs
+  else List.filter_map Fun.id (Array.to_list (map_array t f (Array.of_list xs)))
+
+let parallel_map ?jobs f xs = with_pool ?jobs (fun t -> map t f xs)
+let parallel_filter_map ?jobs f xs = with_pool ?jobs (fun t -> filter_map t f xs)

@@ -1,0 +1,53 @@
+(** A small fixed-size pool of OCaml 5 domains for embarrassingly parallel
+    batches (the optimizer's per-candidate schedule searches and per-plan
+    costings).
+
+    A pool of [jobs] workers runs batches with [jobs - 1] spawned domains plus
+    the calling domain; the spawned domains persist across batches, so one
+    pool can serve every Apriori level of a search and the subsequent plan
+    costings.  Items are claimed one at a time from a shared atomic counter
+    (dynamic load balancing) and results land in a per-index slot, so the
+    output order always equals the input order regardless of interleaving.
+
+    Determinism contract: for a pure [f], [map pool f xs] returns exactly
+    [List.map f xs] — same elements, same order — for every pool size.  With
+    [jobs = 1] no domain is ever spawned and [map] short-circuits to
+    [List.map], so single-threaded behaviour is bit-identical to the
+    sequential code path.
+
+    Batches must not be nested: [f] must not itself call [map]/[filter_map]
+    on any pool (the workers of the outer batch would starve the inner one).
+    Exceptions raised by [f] are re-raised in the caller after the batch
+    drains; which item's exception wins is unspecified when several fail. *)
+
+type t
+
+val default_jobs : unit -> int
+(** The pool size used when [?jobs] is omitted: [RIOT_JOBS] if set to a
+    positive integer, otherwise {!Domain.recommended_domain_count}. *)
+
+val create : ?jobs:int -> unit -> t
+(** [create ~jobs ()] spawns [jobs - 1] worker domains ([jobs] defaults to
+    {!default_jobs}; values < 1 raise [Invalid_argument]). *)
+
+val jobs : t -> int
+(** The pool's fixed size (worker domains + the calling domain). *)
+
+val shutdown : t -> unit
+(** Join all worker domains.  Idempotent; the pool must not be used after. *)
+
+val with_pool : ?jobs:int -> (t -> 'a) -> 'a
+(** [with_pool f] runs [f] with a fresh pool and guarantees {!shutdown},
+    also on exceptions. *)
+
+val map : t -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel [List.map] across the pool's domains. *)
+
+val filter_map : t -> ('a -> 'b option) -> 'a list -> 'b list
+(** Order-preserving parallel [List.filter_map]. *)
+
+val parallel_map : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+(** One-shot convenience: [with_pool ?jobs (fun p -> map p f xs)]. *)
+
+val parallel_filter_map : ?jobs:int -> ('a -> 'b option) -> 'a list -> 'b list
+(** One-shot convenience for {!filter_map}. *)

@@ -35,21 +35,28 @@ let cost_plan ?cache machine program config (plan : Search.plan) =
     predicted_cpu_seconds = Cplan.cpu_seconds machine cplan;
     memory_bytes = cplan.Cplan.peak_memory }
 
-let optimize ?(machine = Machine.paper) ?max_size ?verify program ~config =
+let optimize ?(machine = Machine.paper) ?max_size ?verify ?jobs program ~config =
+  Riot_base.Pool.with_pool ?jobs @@ fun pool ->
   let ref_params = config.Config.params in
   let analysis = Deps.extract program ~ref_params in
   let plans, search_stats =
-    Search.enumerate ?verify ?max_size program ~analysis ~ref_params
+    Search.enumerate ?verify ?max_size ~pool program ~analysis ~ref_params
   in
-  let cache = Cplan.cache program ~config in
-  let plans = List.map (cost_plan ~cache machine program config) plans in
+  (* The schedule-independent work — instance enumeration and extent pairs at
+     the concrete parameters — is materialised once and shared read-only by
+     every plan costing; the sharing list covers every realized set. *)
+  let cache = Cplan.cache ~coaccesses:analysis.Deps.sharing program ~config in
+  let plans = Riot_base.Pool.map pool (cost_plan ~cache machine program config) plans in
   { program; config; machine; analysis; plans; search_stats }
 
-let recost t ~config =
-  let cache = Cplan.cache t.program ~config in
+let recost ?jobs t ~config =
+  let cache = Cplan.cache ~coaccesses:t.analysis.Deps.sharing t.program ~config in
   { t with
     config;
-    plans = List.map (fun p -> cost_plan ~cache t.machine t.program config p.plan) t.plans }
+    plans =
+      Riot_base.Pool.parallel_map ?jobs
+        (fun p -> cost_plan ~cache t.machine t.program config p.plan)
+        t.plans }
 
 let best ?mem_cap_bytes t =
   let fits p =

@@ -39,15 +39,20 @@ val optimize :
   ?machine:Riot_plan.Machine.t ->
   ?max_size:int ->
   ?verify:bool ->
+  ?jobs:int ->
   Riot_ir.Program.t ->
   config:Riot_ir.Config.t ->
   t
 (** Analyse and enumerate all costed plans for the program under the
     configuration's parameters.  [machine] defaults to the paper's
     measurements; [max_size] caps the opportunity-subset size; [verify]
-    (default true) re-checks every schedule concretely. *)
+    (default true) re-checks every schedule concretely.  [jobs] (default
+    {!Riot_base.Pool.default_jobs}, i.e. [RIOT_JOBS] or the machine's domain
+    count) sizes the domain pool that runs the schedule search and the plan
+    costings; any [jobs] yields the same plans, costs and order as
+    [jobs = 1]. *)
 
-val recost : t -> config:Riot_ir.Config.t -> t
+val recost : ?jobs:int -> t -> config:Riot_ir.Config.t -> t
 (** Re-evaluate every plan under different sizes without repeating the
     schedule search (the paper's Section 5.4 remark: schedules are
     parameter-independent, so "should the parameters change, we can simply

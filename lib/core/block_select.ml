@@ -32,14 +32,15 @@ let candidate_factors cfg ~max_factor =
 
 type choice = { factor : int; config : Config.t; best : Api.costed_plan }
 
-let jointly_optimize ?machine ?max_size ?(max_factor = 4) program ~base ~mem_cap_bytes =
+let jointly_optimize ?machine ?max_size ?(max_factor = 4) ?jobs program ~base
+    ~mem_cap_bytes =
   let choices =
     List.filter_map
       (fun factor ->
         match refine base ~factor with
         | None -> None
         | Some config -> (
-            let opt = Api.optimize ?machine ?max_size program ~config in
+            let opt = Api.optimize ?machine ?max_size ?jobs program ~config in
             match Api.best ~mem_cap_bytes opt with
             | best -> Some { factor; config; best }
             | exception Not_found -> None))

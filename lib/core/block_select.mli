@@ -29,10 +29,12 @@ val jointly_optimize :
   ?machine:Riot_plan.Machine.t ->
   ?max_size:int ->
   ?max_factor:int ->
+  ?jobs:int ->
   Riot_ir.Program.t ->
   base:Riot_ir.Config.t ->
   mem_cap_bytes:int ->
   choice list * choice option
 (** Optimize the program under every candidate blocking ([max_factor]
     defaults to 4); returns all per-factor winners that fit the cap and the
-    overall winner (least predicted I/O, then least memory). *)
+    overall winner (least predicted I/O, then least memory).  [jobs] is
+    forwarded to every {!Api.optimize}. *)

@@ -1,6 +1,7 @@
 module Program = Riot_ir.Program
 module Coaccess = Riot_analysis.Coaccess
 module Deps = Riot_analysis.Deps
+module Pool = Riot_base.Pool
 
 let log = Logs.Src.create "riot.optimizer.search" ~doc:"Apriori plan search"
 
@@ -21,117 +22,163 @@ type stats = {
 
 (* Subsets are sorted lists of indices into the opportunity array. *)
 let subsets_of_size_minus_one c =
-  List.init (List.length c) (fun i -> List.filteri (fun j _ -> j <> i) c)
+  let arr = Array.of_list c in
+  let n = Array.length arr in
+  List.init n (fun i ->
+      let sub = Array.make (n - 1) 0 in
+      Array.blit arr 0 sub 0 i;
+      Array.blit arr (i + 1) sub i (n - 1 - i);
+      Array.to_list sub)
 
 let join_step feasible_prev =
   (* Classic Apriori join: two (k-1)-sets sharing their first k-2 elements
-     merge into a k-candidate. *)
-  let rec prefix_eq a b =
-    match (a, b) with
-    | [ _ ], [ _ ] -> true
-    | x :: a', y :: b' -> x = y && prefix_eq a' b'
-    | _ -> false
-  in
-  let last l = List.nth l (List.length l - 1) in
-  let candidates = ref [] in
-  let rec pairs = function
-    | [] -> ()
-    | a :: rest ->
-        List.iter
-          (fun b ->
-            if prefix_eq a b then begin
-              let la = last a and lb = last b in
-              if la < lb then candidates := (a @ [ lb ]) :: !candidates
-              else if lb < la then candidates := (b @ [ la ]) :: !candidates
-            end)
-          rest;
-        pairs rest
-  in
-  pairs feasible_prev;
-  List.sort_uniq compare !candidates
+     merge into a k-candidate.  Group by that prefix so each group of m sets
+     yields its m*(m-1)/2 merges directly, instead of testing prefix
+     equality (and re-walking to the last element) for every pair of the
+     whole level. *)
+  let groups = Hashtbl.create 64 in
+  List.iter
+    (fun s ->
+      let arr = Array.of_list s in
+      let n = Array.length arr in
+      let prefix = Array.to_list (Array.sub arr 0 (n - 1)) in
+      let last = arr.(n - 1) in
+      Hashtbl.replace groups prefix
+        (last :: Option.value ~default:[] (Hashtbl.find_opt groups prefix)))
+    feasible_prev;
+  Hashtbl.fold
+    (fun prefix lasts acc ->
+      let lasts = List.sort compare lasts in
+      let rec pairs acc = function
+        | [] -> acc
+        | x :: rest ->
+            pairs (List.fold_left (fun acc y -> (prefix @ [ x; y ]) :: acc) acc rest) rest
+      in
+      pairs acc lasts)
+    groups []
+  |> List.sort_uniq compare
 
-let enumerate ?(verify = true) ?max_size (prog : Program.t) ~analysis ~ref_params =
-  let t0 = Unix.gettimeofday () in
-  let opportunities = Array.of_list analysis.Deps.sharing in
-  let deps = analysis.Deps.dependences in
-  let n = Array.length opportunities in
-  let max_size = match max_size with Some m -> min m n | None -> n in
-  let ss = Sched_space.make prog in
-  let tried = ref 0 and pruned = ref 0 in
-  let chk = if verify then Some (Verify.checker prog ~params:ref_params) else None in
-  let check_plan q sched =
-    match chk with
-    | None -> true
-    | Some c ->
-        Verify.check_legal c sched
-        && Verify.check_injective c sched
-        && List.for_all (fun ca -> Verify.check_realizes c ca sched) q
-  in
-  let attempt idxs =
-    incr tried;
-    let q = List.map (fun i -> opportunities.(i)) idxs in
-    match Find_schedule.find ss ~prog ~q ~deps with
-    | None -> None
-    | Some sched ->
-        if check_plan q sched then Some sched
-        else begin
-          Log.warn (fun m ->
-              m "schedule for {%s} failed concrete verification; dropped"
-                (String.concat ", " (List.map (fun c -> Coaccess.label c) q)));
-          None
-        end
-  in
-  let plans = ref [] in
-  (* Plan 0: the original schedule, no sharing realized. *)
-  plans := [ ([], prog.Program.original) ];
-  (* k = 1 *)
-  let c1 =
-    List.filter_map
-      (fun i ->
-        match attempt [ i ] with
-        | Some sched ->
-            plans := ([ i ], sched) :: !plans;
-            Some [ i ]
-        | None -> None)
-      (List.init n Fun.id)
-  in
-  let rec level k feasible_prev =
-    if k > max_size || feasible_prev = [] then ()
-    else begin
-      let raw = join_step feasible_prev in
-      let candidates =
-        List.filter
-          (fun c ->
-            let ok =
-              List.for_all (fun s -> List.mem s feasible_prev) (subsets_of_size_minus_one c)
+(* Per-domain search state: [Find_schedule.find] memoises Farkas
+   translations in its [Sched_space] and the concrete verifier caches
+   instance sets and extent pairs — both behind plain [Hashtbl]s.  Giving
+   every domain its own copies keeps the per-candidate path reentrant with
+   no locking on the hot path; the caches only accelerate, never alter, the
+   result, so per-domain caches cannot affect which schedule is found. *)
+type domain_state = {
+  ss : Sched_space.t;
+  chk : Verify.checker option;
+}
+
+let enumerate ?(verify = true) ?max_size ?pool ?jobs (prog : Program.t) ~analysis
+    ~ref_params =
+  let run pool =
+    let t0 = Unix.gettimeofday () in
+    let opportunities = Array.of_list analysis.Deps.sharing in
+    let deps = analysis.Deps.dependences in
+    let n = Array.length opportunities in
+    let max_size = match max_size with Some m -> min m n | None -> n in
+    let tried = ref 0 and pruned = ref 0 in
+    let states_mutex = Mutex.create () in
+    let states : (int, domain_state) Hashtbl.t = Hashtbl.create 8 in
+    let domain_state () =
+      let id = (Domain.self () :> int) in
+      Mutex.lock states_mutex;
+      let st =
+        match Hashtbl.find_opt states id with
+        | Some st -> st
+        | None ->
+            (* Creation happens outside the lock-free hot path but inside the
+               lock: it runs once per domain and per-domain construction is
+               cheap next to a single candidate attempt. *)
+            let st =
+              { ss = Sched_space.make prog;
+                chk =
+                  (if verify then Some (Verify.checker prog ~params:ref_params)
+                   else None) }
             in
-            if not ok then incr pruned;
-            ok)
-          raw
+            Hashtbl.add states id st;
+            st
       in
-      let feasible =
-        List.filter_map
-          (fun c ->
-            match attempt c with
-            | Some sched ->
-                plans := (c, sched) :: !plans;
-                Some c
-            | None -> None)
-          candidates
-      in
-      level (k + 1) feasible
-    end
+      Mutex.unlock states_mutex;
+      st
+    in
+    let check_plan chk q sched =
+      match chk with
+      | None -> true
+      | Some c ->
+          Verify.check_legal c sched
+          && Verify.check_injective c sched
+          && List.for_all (fun ca -> Verify.check_realizes c ca sched) q
+    in
+    let attempt idxs =
+      let st = domain_state () in
+      let q = List.map (fun i -> opportunities.(i)) idxs in
+      match Find_schedule.find st.ss ~prog ~q ~deps with
+      | None -> None
+      | Some sched ->
+          if check_plan st.chk q sched then Some sched
+          else begin
+            Log.warn (fun m ->
+                m "schedule for {%s} failed concrete verification; dropped"
+                  (String.concat ", " (List.map (fun c -> Coaccess.label c) q)));
+            None
+          end
+    in
+    (* Attempt a whole level's candidates across the pool.  Results come back
+       in candidate order, so the plan list grows exactly as the sequential
+       loop would build it. *)
+    let run_level candidates =
+      tried := !tried + List.length candidates;
+      let results = Pool.map pool attempt candidates in
+      List.concat
+        (List.map2
+           (fun c r -> match r with Some sched -> [ (c, sched) ] | None -> [])
+           candidates results)
+    in
+    let plans = ref [] in
+    (* Plan 0: the original schedule, no sharing realized. *)
+    plans := [ ([], prog.Program.original) ];
+    (* k = 1 *)
+    let f1 = run_level (List.init n (fun i -> [ i ])) in
+    List.iter (fun (c, sched) -> plans := (c, sched) :: !plans) f1;
+    let c1 = List.map fst f1 in
+    let rec level k feasible_prev =
+      if k > max_size || feasible_prev = [] then ()
+      else begin
+        let raw = join_step feasible_prev in
+        let feasible_set = Hashtbl.create (2 * List.length feasible_prev) in
+        List.iter (fun s -> Hashtbl.replace feasible_set s ()) feasible_prev;
+        let candidates =
+          List.filter
+            (fun c ->
+              let ok =
+                List.for_all
+                  (fun s -> Hashtbl.mem feasible_set s)
+                  (subsets_of_size_minus_one c)
+              in
+              if not ok then incr pruned;
+              ok)
+            raw
+        in
+        let found = run_level candidates in
+        List.iter (fun (c, sched) -> plans := (c, sched) :: !plans) found;
+        level (k + 1) (List.map fst found)
+      end
+    in
+    level 2 c1;
+    let plans =
+      List.rev !plans
+      |> List.mapi (fun index (idxs, sched) ->
+             { index; q = List.map (fun i -> opportunities.(i)) idxs; sched })
+    in
+    let stats =
+      { candidates_tried = !tried;
+        feasible = List.length plans - 1;
+        pruned = !pruned;
+        elapsed = Unix.gettimeofday () -. t0 }
+    in
+    (plans, stats)
   in
-  level 2 c1;
-  let plans =
-    List.rev !plans
-    |> List.mapi (fun index (idxs, sched) ->
-           { index; q = List.map (fun i -> opportunities.(i)) idxs; sched })
-  in
-  let stats =
-    { candidates_tried = !tried;
-      feasible = List.length plans - 1;
-      pruned = !pruned;
-      elapsed = Unix.gettimeofday () -. t0 }
-  in
-  (plans, stats)
+  match pool with
+  | Some pool -> run pool
+  | None -> Pool.with_pool ?jobs run

@@ -4,7 +4,16 @@
     size k-1 were feasible; feasibility is decided by {!Find_schedule.find}
     and double-checked by the concrete verifier.  Returns one plan per
     feasible opportunity subset (including the empty set under the original
-    schedule — the paper's Plan 0). *)
+    schedule — the paper's Plan 0).
+
+    The candidate attempts within one Apriori level are independent and run
+    across a {!Riot_base.Pool} of domains; every domain gets its own
+    {!Sched_space.t} Farkas cache and its own concrete {!Verify.checker}
+    (both hold unsynchronised hash tables, and caching only accelerates the
+    attempt, it never changes its outcome).  The parallel search is
+    deterministic: for any [jobs], the returned plan list — sets, schedules
+    and index order — is identical to the sequential one; only
+    [stats.elapsed] may differ. *)
 
 type plan = {
   index : int;
@@ -22,10 +31,14 @@ type stats = {
 val enumerate :
   ?verify:bool ->
   ?max_size:int ->
+  ?pool:Riot_base.Pool.t ->
+  ?jobs:int ->
   Riot_ir.Program.t ->
   analysis:Riot_analysis.Deps.result ->
   ref_params:(string * int) list ->
   plan list * stats
 (** [verify] (default true) re-checks every found schedule concretely at
     [ref_params] (legality, injectivity, realization) and drops schedules
-    that fail; [max_size] caps the opportunity-subset size. *)
+    that fail; [max_size] caps the opportunity-subset size.  [pool] reuses an
+    existing domain pool; otherwise a fresh pool of [jobs] domains (default
+    {!Riot_base.Pool.default_jobs}) serves this call. *)

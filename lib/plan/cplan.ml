@@ -49,23 +49,33 @@ type cache = {
   cparams : (string * int) list;
 }
 
-let cache (prog : Program.t) ~config =
+let cache ?(coaccesses = []) (prog : Program.t) ~config =
   let params = config.Config.params in
+  let cpairs = Hashtbl.create 32 in
+  List.iter
+    (fun (ca : Coaccess.t) ->
+      let key = Coaccess.key ca in
+      if not (Hashtbl.mem cpairs key) then
+        Hashtbl.add cpairs key (Coaccess.pairs_at ca ~params))
+    coaccesses;
   { cinstances =
       List.map
         (fun (s : Stmt.t) -> (s.Stmt.name, Program.instances prog s ~params))
         prog.Program.stmts;
-    cpairs = Hashtbl.create 32;
+    cpairs;
     cparams = params }
 
 (* --- Construction -------------------------------------------------------- *)
 
 let build ?cache:c (prog : Program.t) ~config ~sched ~realized =
   let params = config.Config.params in
-  let c =
+  (* A caller-supplied cache may be shared read-only across domains costing
+     plans in parallel: misses are recomputed locally, never inserted.  Only
+     a cache private to this build may keep growing. *)
+  let c, private_cache =
     match c with
-    | Some c when c.cparams = params -> c
-    | _ -> cache prog ~config
+    | Some c when c.cparams = params -> (c, false)
+    | _ -> (cache prog ~config, true)
   in
   let pairs_of (ca : Coaccess.t) =
     let key = Coaccess.key ca in
@@ -73,7 +83,7 @@ let build ?cache:c (prog : Program.t) ~config ~sched ~realized =
     | Some p -> p
     | None ->
         let p = Coaccess.pairs_at ca ~params in
-        Hashtbl.add c.cpairs key p;
+        if private_cache then Hashtbl.add c.cpairs key p;
         p
   in
   (* 1. Enumerate and order all statement instances. *)

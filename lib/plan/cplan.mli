@@ -44,9 +44,23 @@ type t = {
 
 type cache
 (** Memoises the schedule-independent work (statement instance sets, extent
-    pairs) across the many plans costed under one configuration. *)
+    pairs) across the many plans costed under one configuration.
 
-val cache : Riot_ir.Program.t -> config:Riot_ir.Config.t -> cache
+    A cache passed to {!build} is treated as strictly read-only, so one cache
+    may be shared by plan costings running concurrently on several domains.
+    Extent pairs for coaccesses outside the prefill set are recomputed
+    locally on a miss instead of being inserted; prefill with every sharing
+    opportunity of the program (see [coaccesses]) to make the parallel path
+    miss-free. *)
+
+val cache :
+  ?coaccesses:Riot_analysis.Coaccess.t list ->
+  Riot_ir.Program.t ->
+  config:Riot_ir.Config.t ->
+  cache
+(** [coaccesses] eagerly materialises the concrete extent pairs of the given
+    coaccesses (typically the analysis' full sharing list, a superset of
+    every plan's realized set) at the configuration's parameters. *)
 
 val build :
   ?cache:cache ->

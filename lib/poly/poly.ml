@@ -132,6 +132,46 @@ let is_obviously_empty t =
 
 (* --- Fourier–Motzkin elimination --------------------------------------- *)
 
+(* Lightweight redundancy elimination: drop syntactic duplicates and
+   inequalities dominated by an identical-coefficient row with a smaller
+   constant (for [c.x + k >= 0], smaller [k] is stronger).  Unlike
+   [simplify] this performs no gcd normalisation or infeasibility analysis,
+   so it is cheap enough to run after every projection step; repeated
+   eliminations otherwise multiply near-identical rows. *)
+let compact t =
+  let seen = Hashtbl.create 16 in
+  let eqs =
+    List.filter
+      (fun a ->
+        let k = key a in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      t.eqs
+  in
+  let best : (int list, int) Hashtbl.t = Hashtbl.create 16 in
+  List.iter
+    (fun a ->
+      let k = coeff_key a in
+      match Hashtbl.find_opt best k with
+      | Some c when c <= a.Aff.const -> ()
+      | _ -> Hashtbl.replace best k a.Aff.const)
+    t.ges;
+  let ges =
+    List.filter
+      (fun a ->
+        let k = coeff_key a in
+        match Hashtbl.find_opt best k with
+        | Some c when c = a.Aff.const ->
+            Hashtbl.remove best k;
+            true
+        | _ -> false)
+      t.ges
+  in
+  { t with eqs; ges }
+
 (* Eliminate one dimension. Prefers exact substitution via an equality with a
    unit coefficient; otherwise falls back to FM over the inequalities (with
    non-unit equalities split into two inequalities). *)
@@ -147,9 +187,10 @@ let eliminate_one ~tighten t name =
       rest.Aff.coeffs.(i) <- 0;
       let r = Aff.scale (-c) rest in
       let sub a = if coeff a = 0 then a else Aff.subst a name r in
-      { t with
-        eqs = List.filter (fun a -> not (a == e)) t.eqs |> List.map sub;
-        ges = List.map sub t.ges }
+      compact
+        { t with
+          eqs = List.filter (fun a -> not (a == e)) t.eqs |> List.map sub;
+          ges = List.map sub t.ges }
   | None ->
       let eq_with, eq_without = List.partition (fun a -> coeff a <> 0) t.eqs in
       let ges = t.ges @ List.concat_map (fun a -> [ a; Aff.neg a ]) eq_with in

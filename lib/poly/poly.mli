@@ -36,6 +36,13 @@ val simplify : ?tighten:bool -> t -> t
 (** Normalise constraints, drop duplicates and syntactic redundancies.
     [tighten] (default [true]) applies integer tightening to inequalities. *)
 
+val compact : t -> t
+(** Lightweight redundancy elimination: drop syntactically duplicate
+    constraints and inequalities dominated by an identical-coefficient row
+    with a weaker (larger) constant.  No normalisation, no emptiness checks;
+    run after every Fourier–Motzkin step to curb constraint blowup in
+    repeated projections. *)
+
 val is_obviously_empty : t -> bool
 (** Syntactic check after simplification (a constant constraint failed). *)
 

@@ -1,0 +1,86 @@
+(* Differential determinism of the parallel optimizer: running the search and
+   the costing on N domains must give exactly the plans, order and costs of
+   the sequential run — parallelism may only change wall time. *)
+
+module Api = Riotshare.Api
+module Programs = Riot_ops.Programs
+module Deps = Riot_analysis.Deps
+module Coaccess = Riot_analysis.Coaccess
+module Search = Riot_optimizer.Search
+module Config = Riot_ir.Config
+
+let check_bool = Alcotest.(check bool)
+
+let search_signature (plans, (stats : Search.stats)) =
+  (* Everything except [elapsed]. *)
+  (plans, stats.Search.candidates_tried, stats.Search.pruned)
+
+let opt_signature (o : Api.t) =
+  List.map
+    (fun (p : Api.costed_plan) ->
+      ( p.Api.plan.Search.index,
+        List.sort compare (List.map Coaccess.label p.Api.plan.Search.q),
+        p.Api.predicted_io_seconds,
+        p.Api.predicted_cpu_seconds,
+        p.Api.memory_bytes ))
+    o.Api.plans
+
+let enumerate_jobs ?max_size prog ~ref_params jobs =
+  let analysis = Deps.extract prog ~ref_params in
+  search_signature (Search.enumerate ?max_size ~jobs prog ~analysis ~ref_params)
+
+let test_enumerate_add_mul () =
+  let prog = Programs.add_mul () in
+  let ref_params = Programs.table2.Config.params in
+  let seq = enumerate_jobs prog ~ref_params 1 in
+  check_bool "jobs=3 = jobs=1" true (enumerate_jobs prog ~ref_params 3 = seq);
+  check_bool "jobs=2 = jobs=1" true (enumerate_jobs prog ~ref_params 2 = seq)
+
+let test_enumerate_two_matmuls () =
+  let prog = Programs.two_matmuls () in
+  let ref_params = Programs.table3_config_a.Config.params in
+  check_bool "jobs=4 = jobs=1 (k<=2)" true
+    (enumerate_jobs ~max_size:2 prog ~ref_params 4
+    = enumerate_jobs ~max_size:2 prog ~ref_params 1)
+
+let test_optimize_add_mul () =
+  let prog = Programs.add_mul () in
+  let seq = Api.optimize ~jobs:1 prog ~config:Programs.table2 in
+  let par = Api.optimize ~jobs:3 prog ~config:Programs.table2 in
+  check_bool "plan signatures identical" true
+    (opt_signature seq = opt_signature par);
+  check_bool "search stats identical" true
+    (seq.Api.search_stats.Search.candidates_tried
+     = par.Api.search_stats.Search.candidates_tried
+    && seq.Api.search_stats.Search.pruned = par.Api.search_stats.Search.pruned)
+
+let test_recost () =
+  let prog = Programs.add_mul () in
+  let o = Api.optimize ~jobs:1 prog ~config:Programs.table2 in
+  let config = Programs.scale_down ~factor:10 Programs.table2 in
+  check_bool "recost jobs=3 = jobs=1" true
+    (opt_signature (Api.recost ~jobs:1 o ~config)
+    = opt_signature (Api.recost ~jobs:3 o ~config))
+
+let qcheck_parallel =
+  let open Test_random_programs in
+  [ QCheck.Test.make ~name:"random programs: enumerate jobs=3 = jobs=1" ~count:15
+      seed_gen (fun seed ->
+        with_program seed (fun prog ->
+            enumerate_jobs ~max_size:2 prog ~ref_params 3
+            = enumerate_jobs ~max_size:2 prog ~ref_params 1));
+    QCheck.Test.make ~name:"random programs: optimize jobs=2 = jobs=1" ~count:10
+      seed_gen (fun seed ->
+        with_program seed (fun prog ->
+            let config = config_for prog in
+            opt_signature (Api.optimize ~max_size:2 ~jobs:2 prog ~config)
+            = opt_signature (Api.optimize ~max_size:2 ~jobs:1 prog ~config)))
+  ]
+
+let suite =
+  ( "parallel-determinism",
+    [ Alcotest.test_case "enumerate add_mul" `Quick test_enumerate_add_mul;
+      Alcotest.test_case "enumerate two_matmuls" `Slow test_enumerate_two_matmuls;
+      Alcotest.test_case "optimize add_mul" `Quick test_optimize_add_mul;
+      Alcotest.test_case "recost" `Quick test_recost ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck_parallel )
