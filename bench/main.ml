@@ -785,6 +785,42 @@ let micro () =
         res)
     tests
 
+(* --- Differential fuzz campaign against the dumb polyhedral oracle ----------------- *)
+
+module Oracle = Riot_poly.Poly_oracle
+
+let polyfuzz_run ~seed ~count =
+  let t0 = Unix.gettimeofday () in
+  let c = Oracle.campaign ~seed ~count in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "\n=== polyfuzz: %d cases (%d per class, seed %d) in %.1f s (%.0f cases/s) ===\n"
+    c.Oracle.cases count seed dt
+    (float_of_int c.Oracle.cases /. dt);
+  List.iter
+    (fun (cls, n) -> Printf.printf "  %-18s %6d cases\n" cls n)
+    c.Oracle.per_class;
+  match c.Oracle.discrepancies with
+  | [] -> Printf.printf "  zero discrepancies\n"
+  | ds ->
+      List.iter
+        (fun (cls, msg) -> Printf.printf "  DISCREPANCY [%s] %s\n" cls msg)
+        ds;
+      failwith
+        (Printf.sprintf "polyfuzz: %d discrepancies survived" (List.length ds))
+
+let env_int name default =
+  match Sys.getenv_opt name with
+  | Some s -> ( match int_of_string_opt s with Some v -> v | None -> default)
+  | None -> default
+
+let polyfuzz () =
+  polyfuzz_run
+    ~seed:(env_int "RIOT_POLYFUZZ_SEED" 2012)
+    ~count:(env_int "RIOT_POLYFUZZ_COUNT" 2000)
+
+let polyfuzz_smoke () = polyfuzz_run ~seed:2012 ~count:150
+
 (* --- Driver ------------------------------------------------------------------------ *)
 
 let experiments =
@@ -806,6 +842,8 @@ let experiments =
     ("symbolic", extension_symbolic);
     ("costcheck", costcheck);
     ("validate", validate);
+    ("polyfuzz", polyfuzz);
+    ("polyfuzz-smoke", polyfuzz_smoke);
     ("micro", micro) ]
 
 let () =
@@ -835,7 +873,9 @@ let () =
   in
   let args =
     if args = [] then
-      List.filter (fun n -> n <> "opttime-smoke") (List.map fst experiments)
+      List.filter
+        (fun n -> n <> "opttime-smoke" && n <> "polyfuzz-smoke")
+        (List.map fst experiments)
     else args
   in
   let t0 = Unix.gettimeofday () in

@@ -172,7 +172,10 @@ let jobs_arg =
            $(b,RIOT_JOBS) or the machine's core count). Any value produces \
            the same plans and costs as --jobs 1.")
 
-let handle f = try `Ok (f ()) with Failure msg | Parse.Error msg -> `Error (false, msg)
+let handle f =
+  try `Ok (f ()) with
+  | Failure msg | Parse.Error msg -> `Error (false, msg)
+  | Engine.Error e -> `Error (false, Engine.error_to_string e)
 
 (* --- analyze ------------------------------------------------------------------ *)
 

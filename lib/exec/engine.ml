@@ -11,6 +11,44 @@ module Buffer_pool = Riot_storage.Buffer_pool
 module Io_stats = Riot_storage.Io_stats
 module Dense = Riot_kernels.Dense
 
+type error =
+  | Missing_block of {
+      step : int;
+      stmt : string;
+      array : string;
+      index : int list;
+      phase : [ `Read | `Operand ];
+    }
+  | Kernel_arity of {
+      step : int;
+      stmt : string;
+      kernel : string;
+      operands : int;
+    }
+
+exception Error of error
+
+let error_to_string = function
+  | Missing_block { step; stmt; array; index; phase } ->
+      Printf.sprintf
+        "engine: step %d (%s) expected %s[%s] in memory for its %s but it is \
+         absent"
+        step stmt array
+        (String.concat "," (List.map string_of_int index))
+        (match phase with
+        | `Read -> "planned read"
+        | `Operand -> "kernel operand")
+  | Kernel_arity { step; stmt; kernel; operands } ->
+      Printf.sprintf "engine: step %d (%s): kernel %s got %d operands" step
+        stmt kernel operands
+
+let pp_error ppf e = Format.pp_print_string ppf (error_to_string e)
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some (error_to_string e)
+    | _ -> None)
+
 type result = {
   wall_seconds : float;
   virtual_io_seconds : float;
@@ -161,10 +199,14 @@ let run ?(compute = true) ?stores ?trace (plan : Cplan.t) ~backend ~format ~mem_
             (match src with
             | Cplan.From_memory ->
                 if not (Buffer_pool.contains pool (key_of blk)) then
-                  failwith
-                    (Printf.sprintf
-                       "engine: step %d expected %s block in memory but it is absent" i
-                       blk.Cplan.array)
+                  raise
+                    (Error
+                       (Missing_block
+                          { step = i;
+                            stmt = st.Cplan.stmt;
+                            array = blk.Cplan.array;
+                            index = blk.Cplan.index;
+                            phase = `Read }))
             | Cplan.From_disk -> ());
             (match trace with
             | Some sk ->
@@ -229,9 +271,14 @@ let run ?(compute = true) ?stores ?trace (plan : Cplan.t) ~backend ~format ~mem_
             (fun (oa : Access.t) ->
               let idx = Array.to_list (Access.block_of oa lookup) in
               if not (Buffer_pool.contains pool (oa.Access.array, idx)) then
-                failwith
-                  (Printf.sprintf "engine: step %d operand block %s missing" i
-                     oa.Access.array);
+                raise
+                  (Error
+                     (Missing_block
+                        { step = i;
+                          stmt = st.Cplan.stmt;
+                          array = oa.Access.array;
+                          index = idx;
+                          phase = `Operand }));
               Buffer_pool.get pool (store oa.Access.array) idx)
             (Stmt.operand_reads s)
         in
@@ -265,9 +312,13 @@ let run ?(compute = true) ?stores ?trace (plan : Cplan.t) ~backend ~format ~mem_
               ~cols:wl.Config.block_elems.(1) ~l ~r ~out:c
         | Kernel.Opaque _, _, _ -> ()
         | k, _, ops ->
-            failwith
-              (Printf.sprintf "engine: kernel %s of %s got %d operands" (Kernel.name k)
-                 st.Cplan.stmt (List.length ops))
+            raise
+              (Error
+                 (Kernel_arity
+                    { step = i;
+                      stmt = st.Cplan.stmt;
+                      kernel = Kernel.name k;
+                      operands = List.length ops }))
       end;
       (* 5. Writes: through to disk or memory-only. *)
       (match write_buf with

@@ -8,6 +8,34 @@
     materialised writes, memory-only for elided ones); pin intervals open
     and close at the plan's step boundaries. *)
 
+type error =
+  | Missing_block of {
+      step : int;
+      stmt : string;
+      array : string;
+      index : int list;
+      phase : [ `Read | `Operand ];
+          (** [`Read]: a plan step declared the block memory-serviced but the
+              pool does not hold it; [`Operand]: a kernel input block was
+              never brought in.  Either way the plan, not the data, is at
+              fault. *)
+    }
+  | Kernel_arity of {
+      step : int;
+      stmt : string;
+      kernel : string;
+      operands : int;
+    }  (** The kernel was handed an operand list it has no shape for. *)
+
+exception Error of error
+(** Execution failed on a malformed or mis-costed plan.  Carries the step,
+    statement and block context so an optimizer bug is reported as such
+    rather than as a bare string.  Registered with {!Printexc}, so an
+    uncaught [Error] still prints readably. *)
+
+val error_to_string : error -> string
+val pp_error : Format.formatter -> error -> unit
+
 type result = {
   wall_seconds : float;
   virtual_io_seconds : float;  (** simulated backend's clock *)
@@ -48,8 +76,9 @@ val run :
     fewer reads on some plans; RIOTShare's engine executes what the
     optimizer costed.)
 
-    @raise Failure if a memory-serviced read finds its block missing
-    (would indicate an optimizer bug).
+    @raise Error if a memory-serviced read or kernel operand finds its block
+    missing, or a kernel receives an operand list of the wrong shape (either
+    would indicate an optimizer bug).
 
     With [trace], every engine action emits a {!Trace.event} into the sink
     (step boundaries, block reads/writes, pin opens/closes, drops and

@@ -35,8 +35,12 @@ let scale s a =
 let fill a v = Array.fill a 0 (Array.length a) v
 
 let invert ~n src dst =
-  (* Gauss-Jordan on [src | I], with partial pivoting. *)
+  (* Gauss-Jordan on [src | I], with partial pivoting.  Singularity is
+     judged against the matrix's own magnitude: an absolute cutoff would
+     reject well-conditioned matrices of tiny scale (e.g. 1e-13 * I). *)
   let a = Array.copy src in
+  let mag = Array.fold_left (fun m v -> Float.max m (abs_float v)) 0. a in
+  let tiny = 1e-12 *. mag in
   for i = 0 to (n * n) - 1 do
     dst.(i) <- 0.
   done;
@@ -49,7 +53,8 @@ let invert ~n src dst =
     for r = col + 1 to n - 1 do
       if abs_float a.((r * n) + col) > abs_float a.((!piv * n) + col) then piv := r
     done;
-    if abs_float a.((!piv * n) + col) < 1e-12 then failwith "Dense.invert: singular matrix";
+    if abs_float a.((!piv * n) + col) <= tiny then
+      failwith "Dense.invert: singular matrix";
     if !piv <> col then begin
       for j = 0 to n - 1 do
         let t = a.((col * n) + j) in

@@ -31,7 +31,9 @@ val fill : float array -> float -> unit
 
 val invert : n:int -> float array -> float array -> unit
 (** [dst = src^-1] for an [n x n] row-major matrix, by Gauss-Jordan with
-    partial pivoting. @raise Failure on a singular matrix. *)
+    partial pivoting.  Singularity is judged relative to the matrix's own
+    magnitude, so uniformly tiny but well-conditioned matrices invert.
+    @raise Failure on a singular matrix. *)
 
 val rss_acc : rows:int -> cols:int -> e:float array -> acc:float array -> unit
 (** [acc.(j) += sum_i e.(i,j)^2]: column-wise residual sums of squares,

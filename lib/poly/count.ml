@@ -2,7 +2,11 @@ module Q = Riot_base.Q
 
 let rec count p ~over =
   let p = Poly.simplify p in
-  if Poly.is_obviously_empty p then Some Polynomial.zero
+  (* The rational check matters beyond the syntactic one: a pair like
+     [i >= 3, i <= 1] is not obviously empty, and the per-dimension range
+     factors below would count it as [hi + lo + 1 = -1]. *)
+  if Poly.is_obviously_empty p || Poly.is_rationally_empty p then
+    Some Polynomial.zero
   else
     match over with
     | [] -> Some Polynomial.one

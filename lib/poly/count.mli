@@ -11,7 +11,10 @@
 
     The polynomial is valid on the parameter region where every range is
     non-empty (the paper's piecewise quasipolynomials; this is the generic
-    piece, and the reference configurations all live in it). *)
+    piece, and the reference configurations all live in it).  A polyhedron
+    that is rationally empty outright — for every parameter value — counts
+    as the zero polynomial rather than a meaningless negative range
+    product. *)
 
 val count : Poly.t -> over:string list -> Polynomial.t option
 

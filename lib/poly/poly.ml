@@ -30,6 +30,17 @@ let empty space = { space; eqs = []; ges = [ Aff.const space (-1) ] }
 
 exception Infeasible
 
+(* Canonical sign: first non-zero coefficient positive, so structurally equal
+   equalities of opposite sign share one representative. *)
+let canon_sign aff =
+  let rec lead i =
+    if i >= Array.length aff.Aff.coeffs then 1
+    else if aff.Aff.coeffs.(i) > 0 then 1
+    else if aff.Aff.coeffs.(i) < 0 then -1
+    else lead (i + 1)
+  in
+  if lead 0 < 0 then Aff.neg aff else aff
+
 (* Normalise an equality [aff = 0]. Returns [None] for the trivial 0 = 0.
    With [tighten], an equality whose coefficient gcd does not divide the
    constant has no integer solution.
@@ -46,18 +57,11 @@ let norm_eq ~tighten aff =
         else { aff with Aff.coeffs = Array.map (fun c -> c / g) aff.Aff.coeffs;
                         Aff.const = aff.Aff.const / g }
       in
-      Some aff
+      Some (canon_sign aff)
   else
     let aff = { aff with Aff.coeffs = Array.map (fun c -> c / g) aff.Aff.coeffs;
                          Aff.const = aff.Aff.const / g } in
-    (* Canonical sign: first non-zero coefficient positive. *)
-    let rec lead i =
-      if i >= Array.length aff.Aff.coeffs then 1
-      else if aff.Aff.coeffs.(i) > 0 then 1
-      else if aff.Aff.coeffs.(i) < 0 then -1
-      else lead (i + 1)
-    in
-    Some (if lead 0 < 0 then Aff.neg aff else aff)
+    Some (canon_sign aff)
 
 (* Normalise an inequality [aff >= 0]. [tighten] may round the constant down
    (valid over the integers only). Returns [None] for a trivially true
@@ -233,9 +237,27 @@ let fix_dims t assignments =
   let space = Space.remove t.space names in
   cast space { t with eqs = List.map fix t.eqs; ges = List.map fix t.ges }
 
-let rename t mapping =
+(* Renaming keeps each [Aff.t]'s positional coefficient layout, so the target
+   names must stay pairwise distinct: a mapping that collides two dimensions
+   would otherwise merge them silently while the coefficient arrays still
+   address two separate slots. *)
+let renamed_names ~who space mapping =
   let rn n = match List.assoc_opt n mapping with Some m -> m | None -> n in
-  let space = Space.of_names (List.map rn (Space.names t.space)) in
+  let names = List.map rn (Space.names space) in
+  let seen = Hashtbl.create 8 in
+  List.iter2
+    (fun old now ->
+      match Hashtbl.find_opt seen now with
+      | Some prev ->
+          invalid_arg
+            (Printf.sprintf "%s: mapping collides dimensions %s and %s onto %s" who
+               prev old now)
+      | None -> Hashtbl.add seen now old)
+    (Space.names space) names;
+  names
+
+let rename t mapping =
+  let space = Space.of_names (renamed_names ~who:"Poly.rename" t.space mapping) in
   let re a = { a with Aff.space = space } in
   { space; eqs = List.map re t.eqs; ges = List.map re t.ges }
 
@@ -364,17 +386,27 @@ let default_prefer _k candidates =
 
 let range_list lo hi = List.init (hi - lo + 1) (fun i -> lo + i)
 
+(* Candidate values for one dimension.  [Exact] windows cover every integer
+   the bounds admit; a one-sided or absent bound only yields a [Truncated]
+   window of [2*range + 1] values (or [Unbounded], nothing to anchor on), so
+   a miss there proves nothing. *)
+type window =
+  | Window_exact of int list
+  | Window_truncated of int list
+  | Window_unbounded
+
 let candidates_of_bounds ~range b =
-  if not b.feasible then Some []
+  if not b.feasible then Window_exact []
   else
     let lo = Option.map Q.ceil b.lo and hi = Option.map Q.floor b.hi in
     match (lo, hi) with
-    | Some l, Some h -> if l > h then Some [] else Some (range_list l h)
-    | Some l, None -> Some (range_list l (l + (2 * range)))
-    | None, Some h -> Some (range_list (h - (2 * range)) h)
-    | None, None -> None (* fully unbounded *)
+    | Some l, Some h -> Window_exact (if l > h then [] else range_list l h)
+    | Some l, None -> Window_truncated (range_list l (l + (2 * range)))
+    | None, Some h -> Window_truncated (range_list (h - (2 * range)) h)
+    | None, None -> Window_unbounded
 
-let search ?(range = 64) ?(prefer = default_prefer) ~all ?(max_points = 1_000_000) t =
+let search ?(range = 64) ?(prefer = default_prefer) ?on_truncate ~all
+    ?(max_points = 1_000_000) t =
   let n = Space.dim t.space in
   let t = simplify t in
   if is_obviously_empty t then []
@@ -386,6 +418,9 @@ let search ?(range = 64) ?(prefer = default_prefer) ~all ?(max_points = 1_000_00
       let vals = Array.make n 0 in
       let results = ref [] in
       let count = ref 0 in
+      let truncated name =
+        match on_truncate with Some f -> f name | None -> ()
+      in
       let exception Done in
       let rec go k =
         if k = n then begin
@@ -399,10 +434,23 @@ let search ?(range = 64) ?(prefer = default_prefer) ~all ?(max_points = 1_000_00
           let b = dim_bounds levels.(k) k vals in
           let cands =
             match candidates_of_bounds ~range b with
-            | Some c -> c
-            | None ->
-                if all then failwith ("Poly.enumerate: unbounded dimension " ^ Space.name t.space k)
-                else range_list (-range) range
+            | Window_exact c -> c
+            | Window_truncated c ->
+                (* Exhaustive enumeration cannot window-cap: a one-sided
+                   bound is as unbounded as none at all. *)
+                if all then
+                  failwith ("Poly.enumerate: unbounded dimension " ^ Space.name t.space k)
+                else begin
+                  truncated (Space.name t.space k);
+                  c
+                end
+            | Window_unbounded ->
+                if all then
+                  failwith ("Poly.enumerate: unbounded dimension " ^ Space.name t.space k)
+                else begin
+                  truncated (Space.name t.space k);
+                  range_list (-range) range
+                end
           in
           let cands = if all then cands else prefer k cands in
           List.iter (fun v -> vals.(k) <- v; go (k + 1)) cands
@@ -413,12 +461,14 @@ let search ?(range = 64) ?(prefer = default_prefer) ~all ?(max_points = 1_000_00
     end
   end
 
-let sample ?range ?prefer t =
-  match search ?range ?prefer ~all:false t with [] -> None | p :: _ -> Some p
+let sample ?range ?prefer ?on_truncate t =
+  match search ?range ?prefer ?on_truncate ~all:false t with
+  | [] -> None
+  | p :: _ -> Some p
 
 let enumerate ?max_points t = search ~all:true ?max_points t
 
-let is_integrally_empty ?range t = sample ?range t = None
+let is_integrally_empty ?range ?on_truncate t = sample ?range ?on_truncate t = None
 
 let mem t lookup =
   List.for_all (fun a -> Aff.eval a lookup = 0) t.eqs

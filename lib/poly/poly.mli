@@ -59,6 +59,16 @@ val fix_dims : t -> (string * int) list -> t
 (** Substitute integer values for dimensions and remove them from the space. *)
 
 val rename : t -> (string * string) list -> t
+(** Rename dimensions ([mapping] entries are [(old, new)]; unlisted
+    dimensions keep their name).  The renamed names must stay pairwise
+    distinct — constraints keep their positional coefficient layout, so a
+    collision would silently merge two dimensions.
+    @raise Invalid_argument when the mapping collides two dimensions. *)
+
+val renamed_names : who:string -> Space.t -> (string * string) list -> string list
+(** The post-rename dimension names of [space] under [mapping], validated for
+    collisions ([who] labels the raised error; shared with {!Union.rename}).
+    @raise Invalid_argument when the mapping collides two dimensions. *)
 
 val split_components : t -> t list
 (** Split into independent sub-polyhedra over the connected components of the
@@ -70,22 +80,36 @@ val is_rationally_empty : t -> bool
 (** No rational points (exact over the rationals; checked per connected
     component). *)
 
-val is_integrally_empty : ?range:int -> t -> bool
-(** No integer points.  Exact when every dimension is bounded; otherwise
-    unbounded dimensions are searched within [±range] (default 64) after
-    rational emptiness has been ruled out, and the verdict "non-empty" from a
-    found sample is always exact. *)
+val is_integrally_empty :
+  ?range:int -> ?on_truncate:(string -> unit) -> t -> bool
+(** No integer points.
 
-val sample : ?range:int -> ?prefer:(int -> int list -> int list) -> t -> (string * int) list option
+    Truncation contract: the verdict "non-empty" is always exact.  The
+    verdict "empty" is exact only when every dimension is two-side bounded at
+    every search level; a dimension with a one-sided or absent bound is only
+    searched within a window of [2*range + 1] values (default [range] 64),
+    and [on_truncate] fires with its name — a "true" under a truncation
+    means "no point found in the window", i.e. the search gave up, not that
+    the set is empty. *)
+
+val sample :
+  ?range:int ->
+  ?prefer:(int -> int list -> int list) ->
+  ?on_truncate:(string -> unit) ->
+  t ->
+  (string * int) list option
 (** An integer point, as an assignment for every dimension of the space.
     [prefer dimindex candidates] may reorder candidate values per dimension
-    (default: nearest-zero first).  [range] bounds the search on unbounded
-    dimensions (default 64). *)
+    (default: nearest-zero first).  [range] bounds the search on dimensions
+    without two-side bounds (default 64); [on_truncate] fires with the
+    dimension name whenever such a window cap is applied, so [None] can be
+    told apart from "gave up" (see {!is_integrally_empty}). *)
 
 val enumerate : ?max_points:int -> t -> (string * int) list list
-(** All integer points.  Every dimension must be bounded.
-    @raise Failure if a dimension is unbounded or [max_points] (default
-    1_000_000) is exceeded. *)
+(** All integer points.  Every dimension must be two-side bounded — a
+    one-sided bound is rejected rather than silently truncated.
+    @raise Failure if a dimension is unbounded (including one-sided) or
+    [max_points] (default 1_000_000) is exceeded. *)
 
 val mem : t -> (string -> int) -> bool
 (** Does the assignment satisfy every constraint? *)

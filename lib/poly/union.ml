@@ -48,15 +48,18 @@ let fix_dims t assignments =
     disjuncts = List.map (fun d -> Poly.fix_dims d assignments) t.disjuncts }
 
 let rename t mapping =
-  let rn n = match List.assoc_opt n mapping with Some m -> m | None -> n in
-  { space = Space.of_names (List.map rn (Space.names t.space));
-    disjuncts = List.map (fun d -> Poly.rename d mapping) t.disjuncts }
+  let space =
+    Space.of_names (Poly.renamed_names ~who:"Union.rename" t.space mapping)
+  in
+  { space; disjuncts = List.map (fun d -> Poly.rename d mapping) t.disjuncts }
 
 let cast space t = { space; disjuncts = List.map (Poly.cast space) t.disjuncts }
-let is_empty ?range t = List.for_all (Poly.is_integrally_empty ?range) t.disjuncts
 
-let sample ?range t =
-  List.find_map (Poly.sample ?range) t.disjuncts
+let is_empty ?range ?on_truncate t =
+  List.for_all (Poly.is_integrally_empty ?range ?on_truncate) t.disjuncts
+
+let sample ?range ?on_truncate t =
+  List.find_map (Poly.sample ?range ?on_truncate) t.disjuncts
 
 let enumerate ?max_points t =
   let seen = Hashtbl.create 64 in

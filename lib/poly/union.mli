@@ -24,10 +24,18 @@ val eliminate : t -> string list -> t
 val drop_dims : t -> string list -> t
 val fix_dims : t -> (string * int) list -> t
 val rename : t -> (string * string) list -> t
+(** @raise Invalid_argument when the mapping collides two dimensions
+    (see {!Poly.rename}). *)
+
 val cast : Space.t -> t -> t
 
-val is_empty : ?range:int -> t -> bool
-val sample : ?range:int -> t -> (string * int) list option
+val is_empty : ?range:int -> ?on_truncate:(string -> unit) -> t -> bool
+(** [true] only means "no point found": on dimensions without two-side
+    bounds the per-disjunct search is window-capped and [on_truncate] fires
+    (see {!Poly.is_integrally_empty} for the truncation contract). *)
+
+val sample :
+  ?range:int -> ?on_truncate:(string -> unit) -> t -> (string * int) list option
 
 val enumerate : ?max_points:int -> t -> (string * int) list list
 (** All integer points, duplicates across overlapping disjuncts removed. *)

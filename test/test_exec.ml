@@ -259,6 +259,56 @@ let test_linreg_end_to_end () =
         (close ~eps:1e-6 (Array.sub rss 0 nresp) rss_ref))
     interesting
 
+(* A plan corrupted to claim a memory-serviced read on the very first step
+   must fail with a typed engine error carrying the step/statement/block
+   context, not a bare Failure. *)
+let test_engine_missing_block_error () =
+  let ctx = Lazy.force e1_ctx in
+  let plan = plan_with ctx best_labels in
+  let backend = sim () in
+  let format = Block_store.Daf_format in
+  let stores = Engine.stores_for backend ~format ~config:ctx.config in
+  let layout name = Config.layout ctx.config name in
+  let st = Random.State.make [| 123 |] in
+  List.iter
+    (fun a -> scatter (List.assoc a stores) (layout a) (rand_full st (layout a)))
+    [ "A"; "B"; "D" ];
+  let cplan =
+    Cplan.build ctx.prog ~config:ctx.config ~sched:plan.Search.sched
+      ~realized:plan.Search.q
+  in
+  let corrupt =
+    { cplan with
+      Cplan.steps =
+        Array.mapi
+          (fun i (s : Cplan.step) ->
+            if i <> 0 then s
+            else
+              { s with
+                Cplan.reads =
+                  List.map
+                    (fun (a, b, _) -> (a, b, Cplan.From_memory))
+                    s.Cplan.reads
+              })
+          cplan.Cplan.steps
+    }
+  in
+  match
+    Engine.run corrupt ~stores ~backend ~format ~mem_cap:cplan.Cplan.peak_memory
+  with
+  | _ -> Alcotest.fail "corrupted plan executed"
+  | exception Engine.Error (Engine.Missing_block { step; stmt; array; _ }) ->
+      Alcotest.(check int) "failing step" 0 step;
+      Alcotest.(check bool) "statement named" true (stmt <> "");
+      Alcotest.(check bool) "array named" true (array <> "");
+      Alcotest.(check bool) "message mentions the array" true
+        (let msg =
+           Engine.error_to_string
+             (Engine.Missing_block
+                { step; stmt; array; index = [ 0; 0 ]; phase = `Read })
+         in
+         String.length msg > 0)
+
 let suite =
   ( "exec",
     [ Alcotest.test_case "naive plan computes" `Quick test_naive_plan_computes_correctly;
@@ -268,4 +318,5 @@ let suite =
       Alcotest.test_case "memory cap respected" `Quick test_engine_respects_memory_cap;
       Alcotest.test_case "lab format executes" `Quick test_lab_format_executes;
       Alcotest.test_case "phantom matches compute" `Quick test_phantom_matches_compute_io;
-      Alcotest.test_case "linear regression end to end" `Slow test_linreg_end_to_end ] )
+      Alcotest.test_case "linear regression end to end" `Slow test_linreg_end_to_end;
+      Alcotest.test_case "missing block typed error" `Quick test_engine_missing_block_error ] )

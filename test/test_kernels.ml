@@ -85,6 +85,33 @@ let test_invert_singular () =
   check_bool "singular raises" true
     (try Dense.invert ~n:2 a dst; false with Failure _ -> true)
 
+let test_invert_tiny_scale () =
+  (* A fixed absolute pivot cutoff used to reject this well-conditioned
+     matrix: every entry sits below 1e-12 even though it is just 1e-13 * I
+     (up to a swap). *)
+  let s = 1e-13 in
+  let a = [| 0.; s; s; 0. |] in
+  let inv = Array.make 4 0. in
+  Dense.invert ~n:2 a inv;
+  let prod = Array.make 4 0. in
+  Dense.gemm ~accumulate:false ~ta:false ~tb:false ~m:2 ~n:2 ~k:2 ~a ~b:inv
+    ~c:prod;
+  check_bool "tiny-scale residual" true
+    (close ~eps:1e-8 prod [| 1.; 0.; 0.; 1. |])
+
+let test_invert_ill_conditioned () =
+  (* Nearly singular but not singular: the scale-relative threshold keeps it
+     invertible; verify with a loose residual check. *)
+  let e = 1e-10 in
+  let a = [| 1.; 1.; 1.; 1. +. e |] in
+  let inv = Array.make 4 0. in
+  Dense.invert ~n:2 a inv;
+  let prod = Array.make 4 0. in
+  Dense.gemm ~accumulate:false ~ta:false ~tb:false ~m:2 ~n:2 ~k:2 ~a ~b:inv
+    ~c:prod;
+  check_bool "ill-conditioned residual" true
+    (close ~eps:1e-4 prod [| 1.; 0.; 0.; 1. |])
+
 let test_invert_pivoting () =
   (* Zero on the diagonal forces a row swap. *)
   let a = [| 0.; 1.; 1.; 0. |] in
@@ -133,5 +160,7 @@ let suite =
       Alcotest.test_case "invert" `Quick test_invert;
       Alcotest.test_case "invert singular" `Quick test_invert_singular;
       Alcotest.test_case "invert pivoting" `Quick test_invert_pivoting;
+      Alcotest.test_case "invert tiny scale" `Quick test_invert_tiny_scale;
+      Alcotest.test_case "invert ill-conditioned" `Quick test_invert_ill_conditioned;
       Alcotest.test_case "rss" `Quick test_rss ]
     @ List.map QCheck_alcotest.to_alcotest qcheck_kernels )

@@ -437,6 +437,87 @@ let qcheck_counting =
                 Pl.eval_int_exn c (fun _ -> pv) = concrete)
               [ 0; 1; 5 ]) ]
 
+(* --- Regressions pinned from the differential-oracle fuzzer ------------ *)
+
+(* A colliding rename must be rejected at both entry points; a genuine
+   permutation still permutes the point set. *)
+let test_rename_collision () =
+  let s = sp [ "i"; "j" ] in
+  let p = box s [ ("i", 2); ("j", 3) ] in
+  let raises f =
+    match f () with exception Invalid_argument _ -> true | _ -> false
+  in
+  check_bool "poly collision" true
+    (raises (fun () -> Poly.rename p [ ("i", "j") ]));
+  check_bool "union collision" true
+    (raises (fun () -> Union.rename (Union.of_poly p) [ ("i", "j") ]));
+  let q = Poly.rename p [ ("i", "j"); ("j", "i") ] in
+  check_int "swapped points" 6 (List.length (Poly.enumerate q));
+  check_bool "swapped mem" true (Poly.mem q (lookup [ ("j", 1); ("i", 2) ]));
+  check_bool "swapped non-mem" false
+    (Poly.mem q (lookup [ ("j", 1); ("i", 3) ]))
+
+(* With ~tighten:false the equality normaliser skipped sign canonicalisation
+   on rows whose gcd does not divide the constant, so [2i - 1 = 0] and its
+   negation survived deduplication as two distinct constraints. *)
+let test_norm_eq_sign_dedup () =
+  let s = sp [ "i" ] in
+  let e = aff s ~c:(-1) [ ("i", 2) ] in
+  let p = Poly.add_eq (Poly.add_eq (Poly.universe s) e) (Aff.neg e) in
+  check_int "deduped equalities" 1
+    (List.length (Poly.eqs (Poly.simplify ~tighten:false p)))
+
+(* enumerate silently truncated a one-side-bounded dimension to a 129-value
+   window instead of failing per its spec. *)
+let test_enumerate_one_sided_raises () =
+  let s = sp [ "x" ] in
+  let p = Poly.add_ge (Poly.universe s) (Aff.dim s "x") in
+  check_bool "raises" true
+    (match Poly.enumerate p with exception Failure _ -> true | _ -> false)
+
+(* The window cap in sample/is_integrally_empty is observable through
+   ~on_truncate, so "no point found in the window" can be told apart from a
+   proof of emptiness. *)
+let test_truncation_hook () =
+  let s = sp [ "x" ] in
+  let p = Poly.add_ge (Poly.universe s) (aff s ~c:(-5) [ ("x", 1) ]) in
+  let fired = ref [] in
+  (match Poly.sample ~on_truncate:(fun d -> fired := d :: !fired) p with
+  | Some [ ("x", v) ] -> check_bool "sampled in half-line" true (v >= 5)
+  | _ -> Alcotest.fail "expected a sample");
+  check_bool "hook fired" true (List.mem "x" !fired);
+  (* A sparse diophantine half-line: the first integer point (x = 200,
+     y = 199) lies outside the default window, so the search gives up — and
+     must say so through the hook rather than claim emptiness outright. *)
+  let s2 = sp [ "x"; "y" ] in
+  let p2 =
+    Poly.add_ge
+      (Poly.add_eq (Poly.universe s2)
+         (aff s2 ~c:(-1) [ ("x", 200); ("y", -201) ]))
+      (Aff.dim s2 "y")
+  in
+  check_bool "solution exists" true
+    (Poly.mem p2 (lookup [ ("x", 200); ("y", 199) ]));
+  let gave_up = ref false in
+  let verdict =
+    Poly.is_integrally_empty ~on_truncate:(fun _ -> gave_up := true) p2
+  in
+  check_bool "empty verdict only under a truncation flag" true
+    ((not verdict) || !gave_up)
+
+(* A rationally-empty-but-not-obviously-empty polyhedron ([i >= 3, i <= 1])
+   was counted as the range product -1. *)
+let test_count_rationally_empty () =
+  let s = sp [ "i" ] in
+  let p =
+    Poly.add_ge
+      (Poly.add_ge (Poly.universe s) (aff s ~c:(-3) [ ("i", 1) ]))
+      (aff s ~c:1 [ ("i", -1) ])
+  in
+  match Count.count p ~over:[ "i" ] with
+  | Some c -> check_bool "zero" true (Pl.is_zero c)
+  | None -> Alcotest.fail "expected a count"
+
 let suite =
   ( "poly",
     [ Alcotest.test_case "space" `Quick test_space;
@@ -455,5 +536,10 @@ let suite =
       Alcotest.test_case "farkas zero_on" `Quick test_farkas_zero_on;
       Alcotest.test_case "polynomial algebra" `Quick test_polynomial_algebra;
       Alcotest.test_case "count box" `Quick test_count_box;
-      Alcotest.test_case "count matches enumeration" `Quick test_count_matches_enumeration ]
+      Alcotest.test_case "count matches enumeration" `Quick test_count_matches_enumeration;
+      Alcotest.test_case "rename collision" `Quick test_rename_collision;
+      Alcotest.test_case "norm_eq sign dedup" `Quick test_norm_eq_sign_dedup;
+      Alcotest.test_case "enumerate one-sided raises" `Quick test_enumerate_one_sided_raises;
+      Alcotest.test_case "truncation hook" `Quick test_truncation_hook;
+      Alcotest.test_case "count rationally empty" `Quick test_count_rationally_empty ]
     @ List.map QCheck_alcotest.to_alcotest (qcheck_poly @ qcheck_counting) )
