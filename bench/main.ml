@@ -821,6 +821,55 @@ let polyfuzz () =
 
 let polyfuzz_smoke () = polyfuzz_run ~seed:2012 ~count:150
 
+(* --- Crash-consistency and fault-injection campaign -------------------------------- *)
+
+module Fault_fuzz = Riotshare.Fault_fuzz
+
+let faultfuzz_json_file = "BENCH_faultfuzz.json"
+
+let faultfuzz_run ~seed ~min_crash_cases =
+  let t0 = Unix.gettimeofday () in
+  let r = Fault_fuzz.campaign ~seed ~min_crash_cases () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf
+    "\n=== faultfuzz: %d programs, %d plans, seed %d in %.1f s ===\n"
+    r.Fault_fuzz.programs r.Fault_fuzz.plans seed dt;
+  Printf.printf "  crash cases        %6d (crash points past the end: %d ran clean)\n"
+    r.Fault_fuzz.crash_cases r.Fault_fuzz.complete_cases;
+  Printf.printf "  recoveries         %6d (resumed output byte-identical)\n"
+    r.Fault_fuzz.recoveries;
+  Printf.printf "  transient runs     %6d\n" r.Fault_fuzz.transient_cases;
+  Printf.printf "  faults injected    %6d\n" r.Fault_fuzz.faults_injected;
+  Printf.printf "  retries            %6d\n" r.Fault_fuzz.retries;
+  let oc = open_out faultfuzz_json_file in
+  Printf.fprintf oc
+    "{\"seed\": %d, \"programs\": %d, \"plans\": %d, \"crash_cases\": %d, \
+     \"recoveries\": %d, \"complete_cases\": %d, \"transient_cases\": %d, \
+     \"faults_injected\": %d, \"retries\": %d, \"mismatches\": %d, \
+     \"seconds\": %.1f}\n"
+    seed r.Fault_fuzz.programs r.Fault_fuzz.plans r.Fault_fuzz.crash_cases
+    r.Fault_fuzz.recoveries r.Fault_fuzz.complete_cases r.Fault_fuzz.transient_cases
+    r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
+    (List.length r.Fault_fuzz.mismatches) dt;
+  close_out oc;
+  Printf.printf "  (wrote %s)\n" faultfuzz_json_file;
+  (match r.Fault_fuzz.mismatches with
+  | [] -> Printf.printf "  zero mismatches\n"
+  | ms ->
+      List.iter (fun m -> Printf.printf "  MISMATCH %s\n" m) ms;
+      failwith
+        (Printf.sprintf "faultfuzz: %d mismatches survived" (List.length ms)));
+  if r.Fault_fuzz.recoveries <> r.Fault_fuzz.crash_cases then
+    failwith "faultfuzz: some crash cases did not recover";
+  if r.Fault_fuzz.retries = 0 then failwith "faultfuzz: no retries exercised"
+
+let faultfuzz () =
+  faultfuzz_run
+    ~seed:(env_int "RIOT_FAULTFUZZ_SEED" 0)
+    ~min_crash_cases:(env_int "RIOT_FAULTFUZZ_CASES" 200)
+
+let faultfuzz_smoke () = faultfuzz_run ~seed:0 ~min_crash_cases:25
+
 (* --- Driver ------------------------------------------------------------------------ *)
 
 let experiments =
@@ -844,6 +893,8 @@ let experiments =
     ("validate", validate);
     ("polyfuzz", polyfuzz);
     ("polyfuzz-smoke", polyfuzz_smoke);
+    ("faultfuzz", faultfuzz);
+    ("faultfuzz-smoke", faultfuzz_smoke);
     ("micro", micro) ]
 
 let () =
@@ -874,7 +925,8 @@ let () =
   let args =
     if args = [] then
       List.filter
-        (fun n -> n <> "opttime-smoke" && n <> "polyfuzz-smoke")
+        (fun n ->
+          n <> "opttime-smoke" && n <> "polyfuzz-smoke" && n <> "faultfuzz-smoke")
         (List.map fst experiments)
     else args
   in

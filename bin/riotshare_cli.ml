@@ -22,6 +22,9 @@ module Config = Riot_ir.Config
 module Engine = Riot_exec.Engine
 module Trace = Riot_exec.Trace
 module Block_store = Riot_storage.Block_store
+module Backend = Riot_storage.Backend
+module Io_stats = Riot_storage.Io_stats
+module Failpoint = Riot_base.Failpoint
 
 open Cmdliner
 
@@ -176,6 +179,15 @@ let handle f =
   try `Ok (f ()) with
   | Failure msg | Parse.Error msg -> `Error (false, msg)
   | Engine.Error e -> `Error (false, Engine.error_to_string e)
+  | Backend.Io_error { op; stream; off; len; transient } ->
+      `Error
+        ( false,
+          Printf.sprintf "%s I/O error: %s on %s at %d (len %d)"
+            (if transient then "transient" else "fatal")
+            (Backend.op_name op) stream off len )
+  | Backend.Crash { op; stream } ->
+      `Error
+        (false, Printf.sprintf "simulated crash: %s on %s" (Backend.op_name op) stream)
 
 (* --- analyze ------------------------------------------------------------------ *)
 
@@ -244,7 +256,7 @@ let optimize_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run program source config params blocks max_size jobs scale format trace
-    stats_per_array check_cost =
+    stats_per_array check_cost failpoints =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
@@ -265,6 +277,17 @@ let run program source config params blocks max_size jobs scale format trace
         | Some t -> failwith ("unknown trace format " ^ t ^ " (text or jsonl)")
       in
       let backend = Api.simulated_backend opt.Api.machine in
+      let injecting =
+        Failpoint.reset ();
+        match failpoints with
+        | Some spec ->
+            Failpoint.arm_spec spec;
+            true
+        | None -> Failpoint.arm_from_env ()
+      in
+      let backend =
+        if injecting then Backend.retrying (Backend.faulty backend) else backend
+      in
       let result = Api.execute ~compute:false ?trace best ~backend ~format in
       Format.printf "executed: %a@." Api.pp_costed best;
       Format.printf
@@ -275,6 +298,10 @@ let run program source config params blocks max_size jobs scale format trace
         (float_of_int result.Engine.bytes_written /. 1048576.)
         result.Engine.virtual_io_seconds
         (float_of_int result.Engine.pool_peak_bytes /. 1048576.);
+      if injecting then
+        Format.printf "faults injected: %d, retries: %d@."
+          backend.Backend.stats.Io_stats.faults_injected
+          backend.Backend.stats.Io_stats.retries;
       if stats_per_array then begin
         Format.printf "@.per-array physical I/O:@.";
         Format.printf "%-10s %-8s %-12s %-8s %-12s@." "array" "reads" "MB read"
@@ -317,7 +344,19 @@ let run_cmd =
             & info [ "check-cost" ]
                 ~doc:
                   "Cross-validate measured I/O against the plan's prediction; non-zero \
-                   exit on divergence.")))
+                   exit on divergence.")
+        $ Arg.(
+            value
+            & opt (some string) None
+            & info [ "failpoints" ]
+                ~doc:
+                  "Inject I/O faults during the run: a comma-separated list of \
+                   NAME=TRIGGER pairs, e.g. \
+                   $(b,backend.read.error=every:100,backend.write.error=prob:0.01:7). \
+                   Triggers: $(b,always), $(b,nth:N), $(b,every:K), \
+                   $(b,prob:P[:SEED]).  Transient faults are absorbed by the retry \
+                   layer and reported; a $(b,backend.crash) failpoint aborts the \
+                   run.  Defaults to $(b,RIOT_FAILPOINTS) when set.")))
 
 (* --- codegen ------------------------------------------------------------------- *)
 

@@ -1,0 +1,68 @@
+(** The crash-consistency and transient-fault campaign behind
+    [test_faults] and [bench faultfuzz].
+
+    For each randomly generated program (the {!Riot_ops.Rand_prog}
+    distribution) and a handful of its distinct legal plans, the campaign:
+
+    - runs the plan cleanly and snapshots every array stream (the
+      reference);
+    - probes the run's backend-operation count with a never-firing crash
+      failpoint, checking along the way that a journalled run is
+      byte-identical to the plain one;
+    - for crash points spread across the whole operation schedule: arms
+      ["backend.crash"] at the n-th operation, runs until the simulated
+      process dies (possibly mid-write, leaving a torn block, or
+      mid-journal-append, leaving a torn record), then restarts with
+      [Engine.run ~resume:true] on the surviving "disk" and asserts the
+      final array streams are byte-identical to the reference;
+    - runs once more with transient read/write faults and a short read
+      armed under the retry wrapper, asserting the output is still
+      byte-identical, that every injected fault was absorbed by exactly one
+      retry, and that the read/write/byte counters equal the clean run's
+      (no double counting).
+
+    Everything derives from [seed], so a campaign is reproducible;
+    failures are collected into [mismatches] rather than raised. *)
+
+val load_inputs :
+  Riot_ir.Program.t ->
+  Riot_ir.Config.t ->
+  (string * Riot_storage.Block_store.t) list ->
+  unit
+(** Write deterministic contents (a hash of array name, block index and
+    element index) into every block of every [Input]-kind array.
+    Intermediate and Output arrays start empty - never-written blocks read
+    as zeroes identically in every incarnation. *)
+
+val snapshot :
+  Riot_storage.Backend.t ->
+  (string * Riot_storage.Block_store.t) list ->
+  (string * bytes) list
+(** Full contents of each listed array's stream, sorted by array name (the
+    journal stream is not an array and never appears). *)
+
+type result = {
+  programs : int;
+  plans : int;  (** (program, plan) pairs exercised *)
+  crash_cases : int;  (** (program, plan, crash-point) cases that crashed *)
+  recoveries : int;  (** crash cases whose resumed output matched the reference *)
+  complete_cases : int;  (** crash points past the schedule end: ran clean *)
+  transient_cases : int;
+  faults_injected : int;  (** over all fault-armed runs *)
+  retries : int;  (** over all transient runs *)
+  mismatches : string list;  (** human-readable failure descriptions *)
+}
+
+val campaign :
+  ?seed:int ->
+  ?min_crash_cases:int ->
+  ?plans_per_program:int ->
+  ?crash_points:int ->
+  unit ->
+  result
+(** Iterate program seeds [seed, seed+1, ...] until at least
+    [min_crash_cases] (default 200) crash cases ran, taking up to
+    [plans_per_program] (default 2) plans from [Search.enumerate
+    ~max_size:2] and sweeping [crash_points] (default 12) operation indices
+    per plan.  A correct engine yields [mismatches = []],
+    [recoveries = crash_cases] and [retries > 0]. *)

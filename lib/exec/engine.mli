@@ -54,6 +54,8 @@ val run :
   ?compute:bool ->
   ?stores:(string * Riot_storage.Block_store.t) list ->
   ?trace:Trace.sink ->
+  ?journal:bool ->
+  ?resume:bool ->
   Riot_plan.Cplan.t ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
@@ -82,7 +84,18 @@ val run :
 
     With [trace], every engine action emits a {!Trace.event} into the sink
     (step boundaries, block reads/writes, pin opens/closes, drops and
-    evictions); without it no event is constructed. *)
+    evictions); without it no event is constructed.
+
+    [journal] (default false) persists a completed-step watermark into the
+    backend stream {!Journal.stream}, with [sync] barriers after each
+    journalled step's write-through traffic, at every boundary the static
+    analysis proves safe to resume from.  [resume] (default false) recovers
+    that watermark before executing: completed steps up to the analysis'
+    restart point are skipped, blocks pinned across the restart point are
+    reloaded and re-pinned, and execution continues to completion - a run
+    killed at any point (mid-step included) re-run with [~resume:true]
+    produces byte-identical output.  See {!Journal} for the format and the
+    safety argument.  Both default off and then cost nothing. *)
 
 val run_opportunistic :
   Riot_plan.Cplan.t ->

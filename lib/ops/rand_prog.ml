@@ -1,0 +1,82 @@
+module B = Riot_ir.Build
+module Array_info = Riot_ir.Array_info
+module Program = Riot_ir.Program
+module Config = Riot_ir.Config
+module Kernel = Riot_ir.Kernel
+module Access = Riot_ir.Access
+
+let nval = 3
+let ref_params = [ ("n", nval) ]
+let seed_env_var = "RIOT_TEST_SEED"
+
+let master_seed () =
+  match Option.bind (Sys.getenv_opt seed_env_var) int_of_string_opt with
+  | Some s -> s
+  | None -> 77
+
+(* Subscripts stay inside the [0, n) grid: the loop variable itself, the
+   reversed n-1-v, or the constant 0. *)
+let sub_of vars rng =
+  match vars with
+  | [] -> B.cst 0
+  | _ -> (
+      let v = List.nth vars (Random.State.int rng (List.length vars)) in
+      match Random.State.int rng 4 with
+      | 0 | 1 -> B.var v
+      | 2 -> B.(cst (-1) + var "n" - var v)
+      | _ -> B.cst 0)
+
+let gen rng =
+  let n_arrays = 2 + Random.State.int rng 2 in
+  let arrays =
+    List.init n_arrays (fun i ->
+        let kind =
+          match Random.State.int rng 3 with
+          | 0 -> Array_info.Input
+          | 1 -> Array_info.Intermediate
+          | _ -> Array_info.Output
+        in
+        Array_info.make ~kind (Printf.sprintf "R%d" i) ~ndims:2)
+  in
+  let array_name i = Printf.sprintf "R%d" (i mod n_arrays) in
+  let n_nests = 2 + Random.State.int rng 2 in
+  let counter = ref 0 in
+  let nest ni =
+    let depth = 1 + Random.State.int rng 2 in
+    let vars = List.init depth (fun d -> Printf.sprintf "v%d_%d" ni d) in
+    incr counter;
+    let sname = Printf.sprintf "s%d" !counter in
+    let acc typ ai =
+      let s1 = sub_of vars rng and s2 = sub_of vars rng in
+      (typ, array_name ai, [ s1; s2 ], [])
+    in
+    let w = acc Access.Write (Random.State.int rng n_arrays) in
+    let reads =
+      List.init
+        (1 + Random.State.int rng 2)
+        (fun _ -> acc Access.Read (Random.State.int rng n_arrays))
+    in
+    let stmt = B.stmt sname ~kernel:(Kernel.Opaque "rand") ~accs:(w :: reads) in
+    let rec wrap vars body =
+      match vars with
+      | [] -> body
+      | v :: rest -> [ B.for_ v ~lo:(B.cst 0) ~hi:(B.var "n") (wrap rest body) ]
+    in
+    List.hd (wrap vars [ stmt ])
+  in
+  B.program ~name:"random" ~params:[ "n" ] ~arrays (List.init n_nests nest)
+
+let with_program seed f =
+  let rng = Random.State.make [| seed; master_seed () |] in
+  f (gen rng)
+
+let config_for (prog : Program.t) =
+  Config.make ~params:ref_params
+    ~layouts:
+      (List.map
+         (fun (a : Array_info.t) ->
+           ( a.Array_info.name,
+             { Config.grid = [| nval; nval |];
+               block_elems = [| 4; 4 |];
+               elem_size = 8 } ))
+         prog.Program.arrays)

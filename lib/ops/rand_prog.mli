@@ -1,0 +1,41 @@
+(** Random static-control programs for property testing.
+
+    The generator builds small loop programs - a few nests of depth 1-2
+    over a handful of shared 2-D arrays, with subscripts that stay inside
+    an [0, n) grid (the loop variable, its reversal [n-1-v], or the
+    constant 0) and [Opaque] kernels - so analysis, optimizer, engine and
+    fault-injection properties can be checked on arbitrary programs rather
+    than just the paper's benchmarks.
+
+    It lives in the library (not the test tree) so both the alcotest
+    properties and the [faultfuzz] bench harness draw from the same
+    distribution.
+
+    Reproducibility: all consumers derive their PRNG from {!master_seed},
+    which honours the [RIOT_TEST_SEED] environment variable (default 77).
+    Failures should print the case seed together with [master_seed ()] so a
+    run can be replayed exactly. *)
+
+val nval : int
+(** Reference parameter value; arrays are [nval x nval] blocks of 4x4
+    doubles. *)
+
+val ref_params : (string * int) list
+(** [[("n", nval)]]. *)
+
+val seed_env_var : string
+(** ["RIOT_TEST_SEED"]. *)
+
+val master_seed : unit -> int
+(** [$RIOT_TEST_SEED] when set to an integer, else 77. *)
+
+val gen : Random.State.t -> Riot_ir.Program.t
+(** Generate one program (2-3 arrays of random kinds, 2-3 nests). *)
+
+val with_program : int -> (Riot_ir.Program.t -> 'a) -> 'a
+(** Run [f] on the program generated from
+    [Random.State.make [| seed; master_seed () |]]. *)
+
+val config_for : Riot_ir.Program.t -> Riot_ir.Config.t
+(** The reference configuration: every array [nval x nval] blocks of
+    [4 x 4] doubles, params [("n", nval)]. *)

@@ -130,8 +130,16 @@ let build ?cache:c (prog : Program.t) ~config ~sched ~realized =
               Hashtbl.replace ww_sources
                 (ca.Coaccess.src_stmt, inst_key src, ca.Coaccess.src_acc) ()
           | _, Access.Read ->
-              Hashtbl.replace mem_reads
-                (ca.Coaccess.dst_stmt, inst_key dst, ca.Coaccess.dst_acc) ();
+              (* The earlier-scheduled endpoint of the pair performs the
+                 I/O; the later one finds the block resident.  A W->R pair
+                 always runs write-first (legality), but an R->R pair may
+                 be realized in either schedule order. *)
+              let l_stmt, l_inst, l_acc =
+                if si <= di then
+                  (ca.Coaccess.dst_stmt, dst, ca.Coaccess.dst_acc)
+                else (ca.Coaccess.src_stmt, src, ca.Coaccess.src_acc)
+              in
+              Hashtbl.replace mem_reads (l_stmt, inst_key l_inst, l_acc) ();
               let s = Program.find_stmt prog ca.Coaccess.src_stmt in
               let acc = List.nth s.Stmt.accesses ca.Coaccess.src_acc in
               let blk =

@@ -1,3 +1,29 @@
+type io_op = Read | Write | Sync
+
+let op_name = function Read -> "read" | Write -> "write" | Sync -> "sync"
+
+exception
+  Io_error of {
+    op : io_op;
+    stream : string;
+    off : int;
+    len : int;
+    transient : bool;
+  }
+
+exception Crash of { op : io_op; stream : string }
+
+let () =
+  Printexc.register_printer (function
+    | Io_error { op; stream; off; len; transient } ->
+        Some
+          (Printf.sprintf "Backend.Io_error(%s %S off=%d len=%d %s)"
+             (op_name op) stream off len
+             (if transient then "transient" else "fatal"))
+    | Crash { op; stream } ->
+        Some (Printf.sprintf "Backend.Crash(%s %S)" (op_name op) stream)
+    | _ -> None)
+
 type t = {
   pread : name:string -> off:int -> len:int -> bytes;
   pwrite : name:string -> off:int -> data:bytes -> unit;
@@ -166,3 +192,143 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
     Hashtbl.reset contents
   in
   { pread; pwrite; read_discard; write_discard; size; sync; close; stats }
+
+(* --- Fault injection ------------------------------------------------------ *)
+
+module Failpoint = Riot_base.Failpoint
+
+let fp_read_error = "backend.read.error"
+let fp_read_fatal = "backend.read.fatal"
+let fp_read_short = "backend.read.short"
+let fp_write_error = "backend.write.error"
+let fp_sync_error = "backend.sync.error"
+let fp_crash = "backend.crash"
+
+(* Faults are injected BEFORE the inner backend runs, so a failed attempt
+   never reaches the inner counters: retried requests are not double-counted
+   in bytes-moved totals.  The one exception is the torn prefix of a
+   crashing write, which genuinely reaches the disk. *)
+let faulty inner =
+  let stats = inner.stats in
+  let dead = ref false in
+  let crashed op stream =
+    dead := true;
+    Io_stats.add_fault stats;
+    raise (Crash { op; stream })
+  in
+  let check_dead op stream = if !dead then raise (Crash { op; stream }) in
+  let fail op stream off len ~transient =
+    Io_stats.add_fault stats;
+    raise (Io_error { op; stream; off; len; transient })
+  in
+  let read_faults name off len =
+    check_dead Read name;
+    if Failpoint.armed () then begin
+      if Failpoint.should_fail fp_crash then crashed Read name;
+      if Failpoint.should_fail fp_read_error then
+        fail Read name off len ~transient:true;
+      if Failpoint.should_fail fp_read_fatal then
+        fail Read name off len ~transient:false;
+      if Failpoint.should_fail fp_read_short then
+        (* Only a prefix arrived; report how much so the caller can tell a
+           short read from an outright failure. *)
+        fail Read name off (len / 2) ~transient:true
+    end
+  in
+  let pread ~name ~off ~len =
+    read_faults name off len;
+    inner.pread ~name ~off ~len
+  in
+  let read_discard ~name ~off ~len =
+    read_faults name off len;
+    inner.read_discard ~name ~off ~len
+  in
+  let write_faults name off len ~torn =
+    check_dead Write name;
+    if Failpoint.armed () then begin
+      if Failpoint.should_fail fp_crash then begin
+        (* A crash mid-write leaves a torn prefix on the disk. *)
+        torn ();
+        crashed Write name
+      end;
+      if Failpoint.should_fail fp_write_error then
+        fail Write name off len ~transient:true
+    end
+  in
+  let pwrite ~name ~off ~data =
+    let torn () =
+      let half = Bytes.length data / 2 in
+      if half > 0 then inner.pwrite ~name ~off ~data:(Bytes.sub data 0 half)
+    in
+    write_faults name off (Bytes.length data) ~torn;
+    inner.pwrite ~name ~off ~data
+  in
+  let write_discard ~name ~off ~len =
+    let torn () = if len / 2 > 0 then inner.write_discard ~name ~off ~len:(len / 2) in
+    write_faults name off len ~torn;
+    inner.write_discard ~name ~off ~len
+  in
+  let size ~name =
+    check_dead Read name;
+    inner.size ~name
+  in
+  let sync () =
+    check_dead Sync "";
+    if Failpoint.armed () then begin
+      if Failpoint.should_fail fp_crash then crashed Sync "";
+      if Failpoint.should_fail fp_sync_error then fail Sync "" 0 0 ~transient:true
+    end;
+    inner.sync ()
+  in
+  let close () = inner.close () in
+  { pread; pwrite; read_discard; write_discard; size; sync; close; stats }
+
+(* --- Retry with exponential backoff -------------------------------------- *)
+
+type retry_policy = {
+  attempts : int;
+  base_delay : float;
+  multiplier : float;
+  max_delay : float;
+  sleep : float -> unit;
+}
+
+let default_retry_policy =
+  { attempts = 5;
+    base_delay = 0.01;
+    multiplier = 2.0;
+    max_delay = 1.0;
+    sleep = (fun d -> if d > 0. then Unix.sleepf d) }
+
+let retrying ?(policy = default_retry_policy) inner =
+  let stats = inner.stats in
+  let with_retries ?stream f =
+    let rec go attempt =
+      try f ()
+      with Io_error { transient = true; _ } when attempt < policy.attempts ->
+        Io_stats.add_retry ?stream stats;
+        let d =
+          policy.base_delay *. (policy.multiplier ** float_of_int (attempt - 1))
+        in
+        policy.sleep (Float.min d policy.max_delay);
+        go (attempt + 1)
+    in
+    go 1
+  in
+  { pread =
+      (fun ~name ~off ~len ->
+        with_retries ~stream:name (fun () -> inner.pread ~name ~off ~len));
+    pwrite =
+      (fun ~name ~off ~data ->
+        with_retries ~stream:name (fun () -> inner.pwrite ~name ~off ~data));
+    read_discard =
+      (fun ~name ~off ~len ->
+        with_retries ~stream:name (fun () -> inner.read_discard ~name ~off ~len));
+    write_discard =
+      (fun ~name ~off ~len ->
+        with_retries ~stream:name (fun () ->
+            inner.write_discard ~name ~off ~len));
+    size = inner.size;
+    sync = (fun () -> with_retries (fun () -> inner.sync ()));
+    close = inner.close;
+    stats }

@@ -12,8 +12,38 @@
       retain data in memory (for small correctness runs without touching
       the filesystem). *)
 
+type io_op = Read | Write | Sync
+
+val op_name : io_op -> string
+
+exception
+  Io_error of {
+    op : io_op;
+    stream : string;
+    off : int;
+    len : int;
+        (** for a short read, the number of bytes that actually arrived *)
+    transient : bool;
+        (** transient errors are worth retrying; fatal ones are not *)
+  }
+(** A single I/O request failed.  Raised by {!faulty} (and by nothing else
+    today - real [Unix] errors surface as [Unix.Unix_error]); {!retrying}
+    absorbs the transient ones. *)
+
+exception Crash of { op : io_op; stream : string }
+(** The simulated process died mid-request.  Once a {!faulty} backend has
+    crashed, every subsequent request raises [Crash] - the run must be
+    abandoned and restarted (see [Engine.run ~resume:true]). *)
+
 type t = {
   pread : name:string -> off:int -> len:int -> bytes;
+      (** Positional read.  {b End-of-stream contract}: reading at or past
+          the current end of a stream is {e not} an error and is {e not} a
+          short read - the missing suffix is zero-filled, so [pread] always
+          returns exactly [len] bytes and never changes the stream's size.
+          Both implementations obey this (the file backend by pre-zeroing
+          the buffer, the simulated one by construction); block stores rely
+          on it to read never-written blocks as zeroes. *)
   pwrite : name:string -> off:int -> data:bytes -> unit;
   read_discard : name:string -> off:int -> len:int -> unit;
       (** Perform/account the read without materialising the bytes (the
@@ -41,3 +71,54 @@ val sim :
 (** [retain_data] (default true) keeps written bytes in memory so reads
     return real data; with [false] reads return zeroes and only the clock
     and counters advance (full-scale mode). *)
+
+(** {2 Fault injection}
+
+    {!faulty} wraps any backend and consults the {!Riot_base.Failpoint}
+    registry before each request; when nothing is armed the wrapper is a
+    cheap pass-through.  The failpoint names: *)
+
+val fp_read_error : string  (** ["backend.read.error"] - transient read failure *)
+
+val fp_read_fatal : string  (** ["backend.read.fatal"] - non-retryable read failure *)
+
+val fp_read_short : string
+(** ["backend.read.short"] - a short read: only a prefix of the request
+    arrived (reported as a transient {!Io_error} whose [len] is the prefix
+    length, so the retry layer re-issues the whole request) *)
+
+val fp_write_error : string  (** ["backend.write.error"] *)
+
+val fp_sync_error : string  (** ["backend.sync.error"] *)
+
+val fp_crash : string
+(** ["backend.crash"] - simulated process death: the current request raises
+    {!Crash} (a crashing write first leaves a torn half-written prefix on
+    the disk) and the wrapper stays dead forever after. *)
+
+val faulty : t -> t
+(** Fault-injecting wrapper.  Shares the inner backend's {!Io_stats} and
+    counts every injected fault in [faults_injected].  Faults fire {e
+    before} the inner request runs, so a failed attempt adds nothing to the
+    read/write and byte counters (no double counting under retry); only a
+    crashing write's torn prefix reaches the inner backend. *)
+
+type retry_policy = {
+  attempts : int;  (** total attempts, including the first (>= 1) *)
+  base_delay : float;  (** seconds before the first retry *)
+  multiplier : float;  (** exponential backoff factor *)
+  max_delay : float;  (** backoff cap, seconds *)
+  sleep : float -> unit;
+      (** how to wait; tests inject a recording no-op here *)
+}
+
+val default_retry_policy : retry_policy
+(** 5 attempts, 10 ms base delay, doubling, capped at 1 s, real sleep. *)
+
+val retrying : ?policy:retry_policy -> t -> t
+(** Retry wrapper: re-issues a request that raised a transient {!Io_error},
+    sleeping [base_delay * multiplier^k] (capped) between attempts and
+    counting each retry in {!Io_stats} ([retries], and per-stream
+    [s_retries]).  Non-transient errors, {!Crash} and exhausted attempts
+    propagate.  Layer it over {!faulty} to absorb injected transient faults
+    invisibly. *)

@@ -19,6 +19,7 @@ type stream = {
   mutable s_writes : int;
   mutable s_bytes_read : int;
   mutable s_bytes_written : int;
+  mutable s_retries : int;
   s_read_hist : int array;
   s_write_hist : int array;
 }
@@ -41,6 +42,8 @@ type t = {
   mutable pool_misses : int;
   mutable pool_evictions : int;
   mutable pool_flushes : int;
+  mutable retries : int;
+  mutable faults_injected : int;
 }
 
 let create () =
@@ -53,7 +56,9 @@ let create () =
     pool_hits = 0;
     pool_misses = 0;
     pool_evictions = 0;
-    pool_flushes = 0 }
+    pool_flushes = 0;
+    retries = 0;
+    faults_injected = 0 }
 
 let reset t =
   t.reads <- 0;
@@ -65,7 +70,9 @@ let reset t =
   t.pool_hits <- 0;
   t.pool_misses <- 0;
   t.pool_evictions <- 0;
-  t.pool_flushes <- 0
+  t.pool_flushes <- 0;
+  t.retries <- 0;
+  t.faults_injected <- 0
 
 let stream_of t name =
   match Hashtbl.find_opt t.streams name with
@@ -76,6 +83,7 @@ let stream_of t name =
           s_writes = 0;
           s_bytes_read = 0;
           s_bytes_written = 0;
+          s_retries = 0;
           s_read_hist = Array.make hist_buckets 0;
           s_write_hist = Array.make hist_buckets 0 }
       in
@@ -105,6 +113,19 @@ let add_write ?stream t n =
       s.s_bytes_written <- s.s_bytes_written + n;
       let b = bucket_of n in
       s.s_write_hist.(b) <- s.s_write_hist.(b) + 1
+
+let add_retry ?stream t =
+  t.retries <- t.retries + 1;
+  match stream with
+  | None -> ()
+  | Some name ->
+      let s = stream_of t name in
+      s.s_retries <- s.s_retries + 1
+
+let add_fault t = t.faults_injected <- t.faults_injected + 1
+
+let stream_retries t name =
+  match Hashtbl.find_opt t.streams name with Some s -> s.s_retries | None -> 0
 
 let pool_hit t = t.pool_hits <- t.pool_hits + 1
 let pool_miss t = t.pool_misses <- t.pool_misses + 1
@@ -161,4 +182,7 @@ let pp ppf t =
     t.virtual_time;
   if t.pool_hits + t.pool_misses + t.pool_evictions + t.pool_flushes > 0 then
     Format.fprintf ppf " pool[hit=%d miss=%d evict=%d flush=%d]" t.pool_hits
-      t.pool_misses t.pool_evictions t.pool_flushes
+      t.pool_misses t.pool_evictions t.pool_flushes;
+  if t.retries + t.faults_injected > 0 then
+    Format.fprintf ppf " faults[injected=%d retries=%d]" t.faults_injected
+      t.retries

@@ -17,6 +17,10 @@ type stream = {
   mutable s_writes : int;
   mutable s_bytes_read : int;
   mutable s_bytes_written : int;
+  mutable s_retries : int;
+      (** requests against this stream retried after a transient fault;
+          each retried attempt is counted here, never in [s_reads]/[s_writes]
+          or the byte totals, so bytes-moved reflects successful traffic *)
   s_read_hist : int array;  (** request count per power-of-two size bucket *)
   s_write_hist : int array;
 }
@@ -40,6 +44,10 @@ type t = {
   mutable pool_misses : int;
   mutable pool_evictions : int;
   mutable pool_flushes : int;
+  mutable retries : int;
+      (** attempts repeated by {!Backend.retrying} after a transient fault *)
+  mutable faults_injected : int;
+      (** faults raised by {!Backend.faulty}'s failpoints *)
 }
 
 val create : unit -> t
@@ -52,6 +60,18 @@ val add_read : ?stream:string -> t -> int -> unit
     stream's counters and size histogram. *)
 
 val add_write : ?stream:string -> t -> int -> unit
+
+val add_retry : ?stream:string -> t -> unit
+(** Count one retried request (aggregate, and per-stream when given).
+    Retried attempts must {e not} be double-counted in the read/write or
+    byte counters: the fault is injected before the underlying request is
+    accounted, so only the attempt that succeeds adds to bytes moved. *)
+
+val add_fault : t -> unit
+(** Count one injected fault (transient error, short read or crash). *)
+
+val stream_retries : t -> string -> int
+(** Per-stream retry count (0 for unknown streams). *)
 
 val pool_hit : t -> unit
 val pool_miss : t -> unit

@@ -1,12 +1,14 @@
 (* Property tests over randomly generated static-control programs: the
    analysis and optimizer invariants must hold for arbitrary loop programs,
-   not just the paper's benchmarks. *)
+   not just the paper's benchmarks.
 
-module B = Riot_ir.Build
-module Array_info = Riot_ir.Array_info
+   The generator lives in Riot_ops.Rand_prog (shared with the faultfuzz
+   harness).  All programs derive from Rand_prog.master_seed, i.e. the
+   RIOT_TEST_SEED environment variable (default 77); a failure prints both
+   the case seed and the master seed, which together replay it exactly. *)
+
 module Program = Riot_ir.Program
 module Config = Riot_ir.Config
-module Kernel = Riot_ir.Kernel
 module Access = Riot_ir.Access
 module Deps = Riot_analysis.Deps
 module Coaccess = Riot_analysis.Coaccess
@@ -17,82 +19,20 @@ module Cplan = Riot_plan.Cplan
 module Engine = Riot_exec.Engine
 module Backend = Riot_storage.Backend
 module Block_store = Riot_storage.Block_store
+module Rand_prog = Riot_ops.Rand_prog
+module Fault_fuzz = Riotshare.Fault_fuzz
 
-let nval = 3 (* reference parameter value; arrays are nval x nval blocks *)
+let config_for = Rand_prog.config_for
+let ref_params = Rand_prog.ref_params
 
-(* A generated program description: a few loop nests over shared arrays.
-   Subscripts are chosen to stay inside an [0, n) grid: the loop variable
-   itself, the reversed n-1-v, or the constant 0. *)
+let seed_gen =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "%d (%s=%d)" s Rand_prog.seed_env_var
+        (Rand_prog.master_seed ()))
+    QCheck.Gen.(int_range 0 100000)
 
-type sub_kind = Svar | Srev | Szero
-
-let sub_of vars rng =
-  match vars with
-  | [] -> (B.cst 0, Szero)
-  | _ -> (
-      let v = List.nth vars (Random.State.int rng (List.length vars)) in
-      match Random.State.int rng 4 with
-      | 0 | 1 -> (B.var v, Svar)
-      | 2 -> (B.(cst (-1) + var "n" - var v), Srev)
-      | _ -> (B.cst 0, Szero))
-
-let gen_program rng =
-  let n_arrays = 2 + Random.State.int rng 2 in
-  let arrays =
-    List.init n_arrays (fun i ->
-        let kind =
-          match Random.State.int rng 3 with
-          | 0 -> Array_info.Input
-          | 1 -> Array_info.Intermediate
-          | _ -> Array_info.Output
-        in
-        Array_info.make ~kind (Printf.sprintf "R%d" i) ~ndims:2)
-  in
-  let array_name i = Printf.sprintf "R%d" (i mod n_arrays) in
-  let n_nests = 2 + Random.State.int rng 2 in
-  let counter = ref 0 in
-  let nest ni =
-    let depth = 1 + Random.State.int rng 2 in
-    let vars = List.init depth (fun d -> Printf.sprintf "v%d_%d" ni d) in
-    incr counter;
-    let sname = Printf.sprintf "s%d" !counter in
-    let acc typ ai =
-      let s1, _ = sub_of vars rng and s2, _ = sub_of vars rng in
-      (typ, array_name ai, [ s1; s2 ], [])
-    in
-    let w = acc Access.Write (Random.State.int rng n_arrays) in
-    let reads =
-      List.init
-        (1 + Random.State.int rng 2)
-        (fun _ -> acc Access.Read (Random.State.int rng n_arrays))
-    in
-    let stmt = B.stmt sname ~kernel:(Kernel.Opaque "rand") ~accs:(w :: reads) in
-    let rec wrap vars body =
-      match vars with
-      | [] -> body
-      | v :: rest -> [ B.for_ v ~lo:(B.cst 0) ~hi:(B.var "n") (wrap rest body) ]
-    in
-    List.hd (wrap vars [ stmt ])
-  in
-  B.program ~name:"random" ~params:[ "n" ] ~arrays (List.init n_nests nest)
-
-let config_for (prog : Program.t) =
-  Config.make
-    ~params:[ ("n", nval) ]
-    ~layouts:
-      (List.map
-         (fun (a : Array_info.t) ->
-           (a.Array_info.name,
-             { Config.grid = [| nval; nval |]; block_elems = [| 4; 4 |]; elem_size = 8 }))
-         prog.Program.arrays)
-
-let ref_params = [ ("n", nval) ]
-
-let seed_gen = QCheck.make ~print:string_of_int QCheck.Gen.(int_range 0 100000)
-
-let with_program seed f =
-  let rng = Random.State.make [| seed; 77 |] in
-  f (gen_program rng)
+let with_program = Rand_prog.with_program
 
 let prop_sharing_one_one =
   QCheck.Test.make ~name:"random programs: sharing is one-one" ~count:40 seed_gen
@@ -189,6 +129,55 @@ let prop_engine_matches_plan =
               && r.Engine.pool_peak_bytes <= cplan.Cplan.peak_memory)
             plans))
 
+let tmpdir () = Filename.temp_file "riot" "" |> fun f -> Sys.remove f; f
+
+(* Plan-output equivalence: every legal plan of a program - whatever it
+   elides, pins or services from memory - must leave byte-identical Output
+   arrays on a real disk.  (Intermediate arrays legitimately differ: a plan
+   may never materialise them.) *)
+let prop_plan_outputs_equal =
+  QCheck.Test.make ~name:"random programs: all plans produce identical outputs"
+    ~count:10 seed_gen (fun seed ->
+      with_program seed (fun prog ->
+          let config = config_for prog in
+          let analysis = Deps.extract prog ~ref_params in
+          let plans, _ = Search.enumerate ~max_size:2 prog ~analysis ~ref_params in
+          let chosen =
+            (* the base schedule plus up to three with realized sharing *)
+            List.filteri
+              (fun i _ ->
+                let n = List.length plans in
+                i = 0 || i = n - 1 || i = n / 3 || i = 2 * n / 3)
+              plans
+          in
+          let outputs =
+            List.map
+              (fun (p : Search.plan) ->
+                let cplan =
+                  Cplan.build prog ~config ~sched:p.Search.sched
+                    ~realized:p.Search.q
+                in
+                let backend = Backend.file ~root:(tmpdir ()) in
+                let format = Block_store.Daf_format in
+                let stores = Engine.stores_for backend ~format ~config in
+                Fault_fuzz.load_inputs prog config stores;
+                ignore
+                  (Engine.run ~compute:true ~stores cplan ~backend ~format
+                     ~mem_cap:cplan.Cplan.peak_memory);
+                let out =
+                  Fault_fuzz.snapshot backend stores
+                  |> List.filter (fun (name, _) ->
+                         (Program.find_array prog name).Riot_ir.Array_info.kind
+                         = Riot_ir.Array_info.Output)
+                in
+                backend.Backend.close ();
+                out)
+              chosen
+          in
+          match outputs with
+          | [] -> true
+          | first :: rest -> List.for_all (( = ) first) rest))
+
 let suite =
   ( "random-programs",
     List.map QCheck_alcotest.to_alcotest
@@ -196,4 +185,5 @@ let suite =
         prop_deps_subset_of_ground_truth;
         prop_sharing_pairs_share_blocks;
         prop_enumerated_plans_verify;
-        prop_engine_matches_plan ] )
+        prop_engine_matches_plan;
+        prop_plan_outputs_equal ] )

@@ -368,6 +368,36 @@ let test_lab_on_file_backend () =
   done;
   b2.Backend.close ()
 
+(* The EOF contract pinned in backend.mli: [pread] at or past the end of a
+   stream zero-fills, always returns exactly [len] bytes, and never changes
+   the stream's size.  Both backends must agree byte for byte. *)
+let test_pread_past_eof () =
+  List.iter
+    (fun (label, (b : Backend.t)) ->
+      b.Backend.pwrite ~name:"e" ~off:0 ~data:(Bytes.of_string "0123456789");
+      (* Straddling the end: 6 data bytes then 6 zeroes. *)
+      let r = b.Backend.pread ~name:"e" ~off:4 ~len:12 in
+      check_int (label ^ " straddle len") 12 (Bytes.length r);
+      Alcotest.(check string) (label ^ " straddle")
+        "456789\000\000\000\000\000\000" (Bytes.to_string r);
+      (* Starting exactly at the end. *)
+      let r = b.Backend.pread ~name:"e" ~off:10 ~len:4 in
+      Alcotest.(check string) (label ^ " at end") "\000\000\000\000"
+        (Bytes.to_string r);
+      (* Entirely past the end. *)
+      let r = b.Backend.pread ~name:"e" ~off:1000 ~len:3 in
+      Alcotest.(check string) (label ^ " far past end") "\000\000\000"
+        (Bytes.to_string r);
+      (* A stream never written at all reads as zeroes. *)
+      let r = b.Backend.pread ~name:"never" ~off:0 ~len:5 in
+      Alcotest.(check string) (label ^ " empty stream") "\000\000\000\000\000"
+        (Bytes.to_string r);
+      (* None of the above grew anything. *)
+      check_int (label ^ " size unchanged") 10 (b.Backend.size ~name:"e");
+      check_int (label ^ " empty size") 0 (b.Backend.size ~name:"never");
+      b.Backend.close ())
+    [ ("sim", sim ()); ("file", Backend.file ~root:(tmpdir ())) ]
+
 let test_stats_reset () =
   let b = sim () in
   b.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.create 100);
@@ -399,4 +429,5 @@ let suite =
       Alcotest.test_case "per-stream stats" `Quick test_per_stream_stats;
       Alcotest.test_case "pool phantom" `Quick test_pool_phantom;
       Alcotest.test_case "lab on file backend" `Quick test_lab_on_file_backend;
-      Alcotest.test_case "stats reset" `Quick test_stats_reset ] )
+      Alcotest.test_case "stats reset" `Quick test_stats_reset;
+      Alcotest.test_case "pread past EOF" `Quick test_pread_past_eof ] )
