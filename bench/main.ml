@@ -839,17 +839,19 @@ let faultfuzz_run ~seed ~min_crash_cases =
   Printf.printf "  recoveries         %6d (resumed output byte-identical)\n"
     r.Fault_fuzz.recoveries;
   Printf.printf "  transient runs     %6d\n" r.Fault_fuzz.transient_cases;
+  Printf.printf "  vectorized runs    %6d (compared against interpreted reference)\n"
+    r.Fault_fuzz.vector_cases;
   Printf.printf "  faults injected    %6d\n" r.Fault_fuzz.faults_injected;
   Printf.printf "  retries            %6d\n" r.Fault_fuzz.retries;
   let oc = open_out faultfuzz_json_file in
   Printf.fprintf oc
     "{\"seed\": %d, \"programs\": %d, \"plans\": %d, \"crash_cases\": %d, \
      \"recoveries\": %d, \"complete_cases\": %d, \"transient_cases\": %d, \
-     \"faults_injected\": %d, \"retries\": %d, \"mismatches\": %d, \
-     \"seconds\": %.1f}\n"
+     \"vector_cases\": %d, \"faults_injected\": %d, \"retries\": %d, \
+     \"mismatches\": %d, \"seconds\": %.1f}\n"
     seed r.Fault_fuzz.programs r.Fault_fuzz.plans r.Fault_fuzz.crash_cases
     r.Fault_fuzz.recoveries r.Fault_fuzz.complete_cases r.Fault_fuzz.transient_cases
-    r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
+    r.Fault_fuzz.vector_cases r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
     (List.length r.Fault_fuzz.mismatches) dt;
   close_out oc;
   Printf.printf "  (wrote %s)\n" faultfuzz_json_file;
@@ -869,6 +871,185 @@ let faultfuzz () =
     ~min_crash_cases:(env_int "RIOT_FAULTFUZZ_CASES" 200)
 
 let faultfuzz_smoke () = faultfuzz_run ~seed:0 ~min_crash_cases:25
+
+(* --- CPU-bound dispatch benchmark: interpret vs tile-vectorized -------------------- *)
+
+(* A deep element-wise chain (add -> foreach/filter alternation -> sub)
+   over a fine block grid: per-block kernel work is a few dozen flops, so
+   the run is bounded by per-step dispatch — exactly the regime ROADMAP
+   item 3 describes.  The chain is deliberately long (12 statements): each
+   fused run still performs the plan's physical I/O (two input reads, one
+   output write), which both executors share by contract, so the depth is
+   what separates the per-step interpreter overhead being measured from
+   that common floor.  The plan realizes the chain's W->R sharing directly
+   under the original schedule (no Farkas search needed; see test_vexec.ml),
+   which elides every intermediate write and lets the fusion pass merge all
+   twelve steps into one pass per block. *)
+
+module Build = Riot_ir.Build
+module Array_info = Riot_ir.Array_info
+module Access = Riot_ir.Access
+module Kernel = Riot_ir.Kernel
+module Fuse = Riot_plan.Fuse
+
+let cpubound_json_file = "BENCH_cpubound.json"
+
+let cpubound_depth = 12
+
+let cpubound_tmp k = Printf.sprintf "T%d" k
+
+let cpubound_prog () =
+  let n_tmp = cpubound_depth - 1 in
+  let arrays =
+    Array_info.make ~kind:Array_info.Input "A" ~ndims:2
+    :: Array_info.make ~kind:Array_info.Input "B" ~ndims:2
+    :: Array_info.make ~kind:Array_info.Output "OUT" ~ndims:2
+    :: List.init n_tmp (fun k ->
+           Array_info.make ~kind:Array_info.Intermediate (cpubound_tmp (k + 1))
+             ~ndims:2)
+  in
+  let ids = [ Build.var "v0"; Build.var "v1" ] in
+  let stmt k =
+    let name = Printf.sprintf "s%d" k in
+    if k = 1 then
+      Build.stmt name ~kernel:Kernel.Assign_add
+        ~accs:
+          [ (Access.Write, cpubound_tmp 1, ids, []);
+            (Access.Read, "A", ids, []);
+            (Access.Read, "B", ids, []) ]
+    else if k = cpubound_depth then
+      Build.stmt name ~kernel:Kernel.Assign_sub
+        ~accs:
+          [ (Access.Write, "OUT", ids, []);
+            (Access.Read, cpubound_tmp (k - 1), ids, []);
+            (Access.Read, "B", ids, []) ]
+    else
+      Build.stmt name
+        ~kernel:(if k mod 2 = 0 then Kernel.Foreach else Kernel.Filter)
+        ~accs:
+          [ (Access.Write, cpubound_tmp k, ids, []);
+            (Access.Read, cpubound_tmp (k - 1), ids, []) ]
+  in
+  Build.program ~name:"cpubound" ~params:[ "n" ] ~arrays
+    [ Build.for_ "v0" ~lo:(Build.cst 0) ~hi:(Build.var "n")
+        [ Build.for_ "v1" ~lo:(Build.cst 0) ~hi:(Build.var "n")
+            (List.init cpubound_depth (fun k -> stmt (k + 1))) ] ]
+
+let cpubound_config ~grid ~block =
+  Config.make
+    ~params:[ ("n", grid) ]
+    ~layouts:
+      (List.map
+         (fun nm ->
+           ( nm,
+             { Config.grid = [| grid; grid |];
+               block_elems = [| block; block |];
+               elem_size = 8 } ))
+         ("A" :: "B" :: "OUT"
+         :: List.init (cpubound_depth - 1) (fun k -> cpubound_tmp (k + 1))))
+
+let cpubound_run ~variant ~grid ~block ~reps ~gate =
+  section
+    (Printf.sprintf
+       "CPU-bound dispatch benchmark (%s): interpret vs tile-vectorized"
+       variant);
+  let prog = cpubound_prog () in
+  let config = cpubound_config ~grid ~block in
+  let analysis = Deps.extract prog ~ref_params:[ ("n", grid) ] in
+  let realized =
+    List.filter
+      (fun (c : Coaccess.t) -> c.Coaccess.src_typ = Access.Write)
+      analysis.Deps.sharing
+  in
+  let cplan =
+    Cplan.build prog ~config ~sched:prog.Program.original ~realized
+  in
+  let n_steps = Array.length cplan.Cplan.steps in
+  let fused = Fuse.fused_groups (Fuse.analyze cplan) in
+  if fused = 0 then failwith "cpubound: fusion did not fire";
+  let tc0 = Unix.gettimeofday () in
+  ignore (Riot_exec.Vexec.compile cplan);
+  let compile_seconds = Unix.gettimeofday () -. tc0 in
+  Printf.printf
+    "%d x %d grid of %d x %d blocks: %d steps, %d fused runs, %d elided \
+     writes, compile %.4f s\n"
+    grid grid block block n_steps fused
+    (n_steps - cplan.Cplan.write_ops)
+    compile_seconds;
+  let time_run mode =
+    let best = ref infinity and snap = ref None in
+    for _ = 1 to reps do
+      let backend =
+        Backend.sim ~read_bw:machine.Machine.read_bw
+          ~write_bw:machine.Machine.write_bw ~request_overhead:0. ()
+      in
+      let stores =
+        Engine.stores_for backend ~format:Block_store.Daf_format ~config
+      in
+      Fault_fuzz.load_inputs prog config stores;
+      let t0 = Unix.gettimeofday () in
+      ignore
+        (Engine.run ~compute:true ~stores ~mode cplan ~backend
+           ~format:Block_store.Daf_format ~mem_cap:cplan.Cplan.peak_memory);
+      let dt = Unix.gettimeofday () -. t0 in
+      if dt < !best then best := dt;
+      snap := Some (Fault_fuzz.snapshot backend stores)
+    done;
+    (!best, Option.get !snap)
+  in
+  let ti, si = time_run Engine.Interpret in
+  let tv, sv = time_run Engine.Vector in
+  let identical = si = sv in
+  let speedup = ti /. tv in
+  let pred_i = Cplan.cpu_seconds ~vectorized:false machine cplan in
+  let pred_v = Cplan.cpu_seconds machine cplan in
+  let drift_i = pred_i /. ti and drift_v = pred_v /. tv in
+  Printf.printf "%-14s %-12s %-12s %-14s %-10s\n" "executor" "wall (s)"
+    "us/step" "predicted (s)" "drift";
+  Printf.printf "%-14s %-12.4f %-12.2f %-14.4f %-10.2f\n" "interpret" ti
+    (1e6 *. ti /. float_of_int n_steps)
+    pred_i drift_i;
+  Printf.printf "%-14s %-12.4f %-12.2f %-14.4f %-10.2f\n" "vectorized" tv
+    (1e6 *. tv /. float_of_int n_steps)
+    pred_v drift_v;
+  Printf.printf "\nspeedup %.2fx (best of %d run(s) each); outputs %s\n" speedup
+    reps
+    (if identical then "byte-identical [PASS]" else "DIVERGED [FAIL]");
+  let oc = open_out cpubound_json_file in
+  Printf.fprintf oc
+    "{\"variant\": %S, \"grid\": %d, \"block\": %d, \"steps\": %d, \
+     \"fused_runs\": %d, \"reps\": %d, \"interp_seconds\": %.6f, \
+     \"vector_seconds\": %.6f, \"speedup\": %.3f, \
+     \"interp_us_per_step\": %.3f, \"vector_us_per_step\": %.3f, \
+     \"predicted_cpu_interp\": %.6f, \"predicted_cpu_vector\": %.6f, \
+     \"drift_interp\": %.3f, \"drift_vector\": %.3f, \"identical\": %b}\n"
+    variant grid block n_steps fused reps ti tv speedup
+    (1e6 *. ti /. float_of_int n_steps)
+    (1e6 *. tv /. float_of_int n_steps)
+    pred_i pred_v drift_i drift_v identical;
+  close_out oc;
+  Printf.printf "(wrote %s)\n" cpubound_json_file;
+  if not identical then
+    failwith "cpubound: interpret and vectorized outputs diverged";
+  if gate then begin
+    if speedup < 3. then
+      failwith
+        (Printf.sprintf "cpubound: speedup %.2fx below the 3x gate" speedup);
+    List.iter
+      (fun (name, d) ->
+        if d < 0.1 || d > 10. then
+          failwith
+            (Printf.sprintf
+               "cpubound: %s cost-model drift %.2fx outside [0.1, 10] — \
+                re-calibrate Machine.dispatch_* (EXPERIMENTS.md)"
+               name d))
+      [ ("interpret", drift_i); ("vectorized", drift_v) ]
+  end
+
+let cpubound () = cpubound_run ~variant:"full" ~grid:48 ~block:8 ~reps:3 ~gate:true
+
+let cpubound_smoke () =
+  cpubound_run ~variant:"smoke" ~grid:6 ~block:4 ~reps:1 ~gate:false
 
 (* --- Driver ------------------------------------------------------------------------ *)
 
@@ -895,6 +1076,8 @@ let experiments =
     ("polyfuzz-smoke", polyfuzz_smoke);
     ("faultfuzz", faultfuzz);
     ("faultfuzz-smoke", faultfuzz_smoke);
+    ("cpubound", cpubound);
+    ("cpubound-smoke", cpubound_smoke);
     ("micro", micro) ]
 
 let () =
@@ -926,7 +1109,8 @@ let () =
     if args = [] then
       List.filter
         (fun n ->
-          n <> "opttime-smoke" && n <> "polyfuzz-smoke" && n <> "faultfuzz-smoke")
+          n <> "opttime-smoke" && n <> "polyfuzz-smoke" && n <> "faultfuzz-smoke"
+          && n <> "cpubound-smoke")
         (List.map fst experiments)
     else args
   in

@@ -255,7 +255,7 @@ let optimize_cmd =
 
 (* --- run ----------------------------------------------------------------------- *)
 
-let run program source config params blocks max_size jobs scale format trace
+let run program source config params blocks max_size jobs scale format mode trace
     stats_per_array check_cost failpoints =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
@@ -269,6 +269,13 @@ let run program source config params blocks max_size jobs scale format trace
         | "lab" -> Block_store.Lab_format
         | f -> failwith ("unknown format " ^ f)
       in
+      let exec_mode =
+        match mode with
+        | "simulate" -> None
+        | "interpret" -> Some Engine.Interpret
+        | "vector" -> Some Engine.Vector
+        | m -> failwith ("unknown mode " ^ m ^ " (simulate, interpret or vector)")
+      in
       let trace =
         match trace with
         | None -> None
@@ -276,7 +283,9 @@ let run program source config params blocks max_size jobs scale format trace
         | Some "jsonl" -> Some (Trace.jsonl prerr_endline)
         | Some t -> failwith ("unknown trace format " ^ t ^ " (text or jsonl)")
       in
-      let backend = Api.simulated_backend opt.Api.machine in
+      let backend =
+        Api.simulated_backend ~retain_data:(exec_mode <> None) opt.Api.machine
+      in
       let injecting =
         Failpoint.reset ();
         match failpoints with
@@ -288,7 +297,11 @@ let run program source config params blocks max_size jobs scale format trace
       let backend =
         if injecting then Backend.retrying (Backend.faulty backend) else backend
       in
-      let result = Api.execute ~compute:false ?trace best ~backend ~format in
+      let result =
+        match exec_mode with
+        | None -> Api.execute ~compute:false ?trace best ~backend ~format
+        | Some m -> Api.execute ~compute:true ~mode:m ?trace best ~backend ~format
+      in
       Format.printf "executed: %a@." Api.pp_costed best;
       Format.printf
         "block reads: %d (%.1f MB), block writes: %d (%.1f MB)@.simulated I/O time: %.1f s, pool peak: %.1f MB@."
@@ -332,6 +345,17 @@ let run_cmd =
         $ max_size_arg $ jobs_arg
         $ Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Divide block dims by N.")
         $ Arg.(value & opt string "daf" & info [ "format" ] ~doc:"daf or lab.")
+        $ Arg.(
+            value
+            & opt string "simulate"
+            & info [ "mode" ]
+                ~doc:
+                  "$(b,simulate) (default): phantom run, I/O and memory only. \
+                   $(b,interpret) / $(b,vector): run the kernels on a \
+                   data-retaining simulated disk (inputs read as zeroes unless \
+                   loaded) through the interpreting or the tile-vectorized \
+                   executor.  The two executors are differentially equivalent: \
+                   byte-identical outputs and identical physical I/O.")
         $ Arg.(
             value
             & opt (some string) None

@@ -76,12 +76,15 @@ val execute :
   ?compute:bool ->
   ?stores:(string * Riot_storage.Block_store.t) list ->
   ?trace:Riot_exec.Trace.sink ->
+  ?mode:Riot_exec.Engine.mode ->
   costed_plan ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
   Riot_exec.Engine.result
 (** Run the plan with a memory cap equal to its computed requirement.
-    [trace] streams execution events (see {!Riot_exec.Trace}). *)
+    [trace] streams execution events (see {!Riot_exec.Trace}); [mode]
+    selects the executor (default tile-vectorized, see
+    {!Riot_exec.Engine.mode} for the differential contract). *)
 
 val check_cost : costed_plan -> Riot_exec.Engine.result -> Riot_plan.Cost_check.report
 (** Cross-validate the plan's predicted per-array I/O against a run's

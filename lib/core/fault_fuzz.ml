@@ -18,6 +18,7 @@ type result = {
   recoveries : int;
   complete_cases : int;
   transient_cases : int;
+  vector_cases : int;
   faults_injected : int;
   retries : int;
   mismatches : string list;
@@ -86,13 +87,21 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
   and retries = ref 0
   and mismatches = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> mismatches := m :: !mismatches) fmt in
+  let vector_cases = ref 0 in
   let max_programs = max 4 (min_crash_cases / 2) in
   let sp = ref seed in
   while !crash_cases < min_crash_cases && !programs < max_programs do
     let case_seed = !sp in
     incr sp;
     incr programs;
-    Rand_prog.with_program case_seed (fun prog ->
+    (* Alternate the two distributions: opaque nests (even seeds) keep the
+       historical coverage, element-wise chains (odd seeds) push crash
+       points inside fused steps of the vectorized executor. *)
+    let with_prog =
+      if case_seed mod 2 = 0 then Rand_prog.with_program
+      else Rand_prog.with_ew_program
+    in
+    with_prog case_seed (fun prog ->
         let config = Rand_prog.config_for prog in
         let ref_params = Rand_prog.ref_params in
         let analysis = Deps.extract prog ~ref_params in
@@ -106,23 +115,25 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
               Cplan.build prog ~config ~sched:p.Search.sched ~realized:p.Search.q
             in
             let mem_cap = cplan.Cplan.peak_memory in
-            let run ?journal ?resume backend =
+            let run ?journal ?resume ?(mode = Engine.Vector) backend =
               let stores = Engine.stores_for backend ~format ~config in
               ignore
-                (Engine.run ~compute:true ~stores ?journal ?resume cplan ~backend
-                   ~format ~mem_cap);
+                (Engine.run ~compute:true ~stores ?journal ?resume ~mode cplan
+                   ~backend ~format ~mem_cap);
               stores
             in
-            (* Clean reference. *)
+            (* Clean reference, computed by the interpreting executor: every
+               vectorized run below is also a differential check against it. *)
             Failpoint.reset ();
             let clean = mk_backend () in
             load_inputs prog config (Engine.stores_for clean ~format ~config);
             Io_stats.reset clean.Backend.stats;
-            let cstores = run clean in
+            let cstores = run ~mode:Engine.Interpret clean in
             let reference = snapshot clean cstores in
             let clean_counts = counts clean.Backend.stats in
             (* Probe the operation count with a crash point beyond reach;
-               doubles as a journalled-run equivalence check. *)
+               doubles as a journalled interpret-vs-vector equivalence
+               check. *)
             let probe = mk_backend () in
             load_inputs prog config (Engine.stores_for probe ~format ~config);
             Failpoint.reset ();
@@ -130,9 +141,15 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
             let pstores = run ~journal:true (Backend.faulty probe) in
             let ops = Failpoint.hits Backend.fp_crash in
             Failpoint.reset ();
+            incr vector_cases;
             if snapshot probe pstores <> reference then
-              fail "%s: journalled clean run diverged" (where 0);
-            (* Crash sweep: kill at operation k, restart, compare. *)
+              fail "%s: journalled vectorized run diverged" (where 0);
+            (* Crash sweep: kill at operation k, restart, compare.  The
+               crashing incarnation alternates executors with k, and the
+               restart runs the OTHER one: a journal written under either
+               mode must resume correctly under either (watermark records
+               are plan-based, and the vectorized executor only journals
+               boundaries the interpreter would too). *)
             let ks =
               List.sort_uniq compare
                 (List.init crash_points (fun c ->
@@ -140,11 +157,15 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
             in
             List.iter
               (fun k ->
+                let crash_mode, resume_mode =
+                  if k mod 2 = 0 then (Engine.Vector, Engine.Interpret)
+                  else (Engine.Interpret, Engine.Vector)
+                in
                 let b = mk_backend () in
                 load_inputs prog config (Engine.stores_for b ~format ~config);
                 Failpoint.reset ();
                 Failpoint.arm Backend.fp_crash (Failpoint.Nth k);
-                (match run ~journal:true (Backend.faulty b) with
+                (match run ~journal:true ~mode:crash_mode (Backend.faulty b) with
                 | (_ : (string * Block_store.t) list) -> incr complete_cases
                 | exception Backend.Crash _ -> (
                     incr crash_cases;
@@ -154,8 +175,9 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
                         b.Backend.stats.Io_stats.faults_injected;
                     Failpoint.reset ();
                     (* Restart on the surviving disk: no faults, resume. *)
-                    match run ~journal:true ~resume:true b with
+                    match run ~journal:true ~resume:true ~mode:resume_mode b with
                     | rstores ->
+                        if resume_mode = Engine.Vector then incr vector_cases;
                         if snapshot b rstores = reference then incr recoveries
                         else fail "%s: resumed output diverged" (where k)
                     | exception e ->
@@ -177,6 +199,7 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
             (match run (Backend.retrying ~policy (Backend.faulty b)) with
             | tstores ->
                 incr transient_cases;
+                incr vector_cases;
                 let s = b.Backend.stats in
                 faults := !faults + s.Io_stats.faults_injected;
                 retries := !retries + s.Io_stats.retries;
@@ -200,6 +223,7 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
     recoveries = !recoveries;
     complete_cases = !complete_cases;
     transient_cases = !transient_cases;
+    vector_cases = !vector_cases;
     faults_injected = !faults;
     retries = !retries;
     mismatches = List.rev !mismatches }

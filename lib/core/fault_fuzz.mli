@@ -1,25 +1,33 @@
 (** The crash-consistency and transient-fault campaign behind
     [test_faults] and [bench faultfuzz].
 
-    For each randomly generated program (the {!Riot_ops.Rand_prog}
-    distribution) and a handful of its distinct legal plans, the campaign:
+    For each randomly generated program (even seeds draw from
+    {!Riot_ops.Rand_prog.gen}'s opaque-nest distribution, odd seeds from
+    {!Riot_ops.Rand_prog.gen_ew}'s element-wise chains, whose fusable runs
+    put crash points inside fused steps of the tile-vectorized executor)
+    and a handful of its distinct legal plans, the campaign:
 
-    - runs the plan cleanly and snapshots every array stream (the
-      reference);
+    - runs the plan cleanly under the interpreting executor and snapshots
+      every array stream (the reference) - every vectorized run below is
+      thereby also a standing interpret-vs-vector differential check;
     - probes the run's backend-operation count with a never-firing crash
-      failpoint, checking along the way that a journalled run is
-      byte-identical to the plain one;
+      failpoint, checking along the way that a journalled vectorized run is
+      byte-identical to the interpreted one;
     - for crash points spread across the whole operation schedule: arms
       ["backend.crash"] at the n-th operation, runs until the simulated
       process dies (possibly mid-write, leaving a torn block, or
       mid-journal-append, leaving a torn record), then restarts with
       [Engine.run ~resume:true] on the surviving "disk" and asserts the
-      final array streams are byte-identical to the reference;
-    - runs once more with transient read/write faults and a short read
-      armed under the retry wrapper, asserting the output is still
-      byte-identical, that every injected fault was absorbed by exactly one
-      retry, and that the read/write/byte counters equal the clean run's
-      (no double counting).
+      final array streams are byte-identical to the reference.  The
+      crashing incarnation alternates executors with the crash point and
+      the restart always runs the other one, so a journal written under
+      either mode is proven to resume under either;
+    - runs once more (vectorized) with transient read/write faults and a
+      short read armed under the retry wrapper, asserting the output is
+      still byte-identical, that every injected fault was absorbed by
+      exactly one retry, and that the read/write/byte counters equal the
+      interpreted clean run's (no double counting - and physical I/O is
+      mode-invariant).
 
     Everything derives from [seed], so a campaign is reproducible;
     failures are collected into [mismatches] rather than raised. *)
@@ -41,6 +49,12 @@ val snapshot :
 (** Full contents of each listed array's stream, sorted by array name (the
     journal stream is not an array and never appears). *)
 
+val select_plans :
+  int -> Riot_optimizer.Search.plan list -> Riot_optimizer.Search.plan list
+(** Up to [k] well-spread plans: always the base schedule, then evenly
+    through the enumeration (richer realized sets come later).  Shared with
+    the differential executor tests. *)
+
 type result = {
   programs : int;
   plans : int;  (** (program, plan) pairs exercised *)
@@ -48,6 +62,10 @@ type result = {
   recoveries : int;  (** crash cases whose resumed output matched the reference *)
   complete_cases : int;  (** crash points past the schedule end: ran clean *)
   transient_cases : int;
+  vector_cases : int;
+      (** runs executed in [Vector] mode and compared byte-for-byte against
+          the interpreted reference (journalled probes, cross-mode resumes,
+          transient runs) *)
   faults_injected : int;  (** over all fault-armed runs *)
   retries : int;  (** over all transient runs *)
   mismatches : string list;  (** human-readable failure descriptions *)

@@ -49,6 +49,8 @@ let () =
     | Error e -> Some (error_to_string e)
     | _ -> None)
 
+type mode = Interpret | Vector
+
 type result = {
   wall_seconds : float;
   virtual_io_seconds : float;
@@ -72,6 +74,7 @@ let stores_for backend ~format ~config =
     config.Config.layouts
 
 let key_of (blk : Cplan.block) = (blk.Cplan.array, blk.Cplan.index)
+
 
 (* Attribute this run's per-stream I/O deltas back to array names through the
    stores' stream names.  Streams no store claims (none today) keep their raw
@@ -132,7 +135,10 @@ let run_opportunistic (plan : Cplan.t) ~backend ~format ~mem_cap =
     per_array = per_array_delta ~before:streams0 backend stores }
 
 let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
-    (plan : Cplan.t) ~backend ~format ~mem_cap =
+    ?(mode = Vector) (plan : Cplan.t) ~backend ~format ~mem_cap =
+  (* Phantom (compute-less) runs have no buffers for the compiled closures to
+     chew on; they always take the interpreted path. *)
+  let mode = if compute then mode else Interpret in
   let t0 = Unix.gettimeofday () in
   let vt0 = backend.Backend.stats.Io_stats.virtual_time in
   let r0 = backend.Backend.stats.Io_stats.reads
@@ -162,16 +168,7 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
     Buffer_pool.create ~phantom:(not compute) ~stats:backend.Backend.stats ?on_evict
       ~cap_bytes:mem_cap ()
   in
-  (* Pin bookkeeping per step index. *)
   let n = Array.length plan.Cplan.steps in
-  let pin_start = Array.make n [] and pin_stop = Array.make n [] in
-  List.iter
-    (fun ((blk : Cplan.block), a, b) ->
-      if a >= 0 && a < n then pin_start.(a) <- blk :: pin_start.(a);
-      if b >= 0 && b < n then pin_stop.(b) <- blk :: pin_stop.(b))
-    plan.Cplan.pins;
-  (* Drop a dead block and trace the drop only when it actually happened
-     (the block may be absent, or kept alive by an outer pin). *)
   (* Crash-restart bookkeeping.  With [resume], recover the journalled
      watermark and restart from the analysis' restart point (elided values
      are regenerated by re-executing their producing chain); with [journal],
@@ -188,6 +185,54 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
     | Some { Journal.watermark; _ }, Some rp when watermark >= 0 ->
         rp.Journal.restart.(watermark)
     | _ -> 0
+  in
+  (* Tile-vectorized execution compiles the plan once up front.  The link
+     blocks of a fused group never materialize in the pool, so their pins are
+     filtered out of the pin bookkeeping - unless a resume restart point
+     bisects the group (the journal analysis never produces one, but degrade
+     defensively to per-step execution with its pins intact). *)
+  let compiled =
+    match mode with
+    | Vector -> Some (Vexec.compiled_for plan)
+    | Interpret -> None
+  in
+  let degraded (f : Vexec.fused) =
+    start_step > f.Vexec.f_lo && start_step <= f.Vexec.f_hi
+  in
+  (* Pin bookkeeping per step index.  The compiled plan carries the filtered
+     arrays precomputed; rebuild them only when a restart point bisects a
+     fused group (that group degrades to per-step execution, so its link
+     pins come back into force). *)
+  let pin_start, pin_stop =
+    match compiled with
+    | Some cp
+      when not
+             (Array.exists
+                (function Vexec.Fused f -> degraded f | _ -> false)
+                cp.Vexec.ops) ->
+        (cp.Vexec.pin_start, cp.Vexec.pin_stop)
+    | _ ->
+        let skipped_pins : (Cplan.block, unit) Hashtbl.t = Hashtbl.create 16 in
+        (match compiled with
+        | Some cp ->
+            Array.iter
+              (function
+                | Vexec.Fused f when not (degraded f) ->
+                    Array.iter
+                      (fun blk -> Hashtbl.replace skipped_pins blk ())
+                      f.Vexec.f_links
+                | _ -> ())
+              cp.Vexec.ops
+        | None -> ());
+        let pin_start = Array.make n [] and pin_stop = Array.make n [] in
+        List.iter
+          (fun ((blk : Cplan.block), a, b) ->
+            if not (Hashtbl.mem skipped_pins blk) then begin
+              if a >= 0 && a < n then pin_start.(a) <- blk :: pin_start.(a);
+              if b >= 0 && b < n then pin_stop.(b) <- blk :: pin_stop.(b)
+            end)
+          plan.Cplan.pins;
+        (pin_start, pin_stop)
   in
   let writer =
     if journal then
@@ -233,16 +278,47 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
       | None -> ()
     end
   in
-  Array.iteri
-    (fun i (st : Cplan.step) ->
-      if i >= start_step then begin
+  let step_begin i stmt instance =
+    match trace with
+    | Some sk -> sk.Trace.emit (Trace.Step_begin { step = i; stmt; instance })
+    | None -> ()
+  in
+  let step_end i =
+    match trace with
+    | Some sk -> sk.Trace.emit (Trace.Step_end { step = i })
+    | None -> ()
+  in
+  (* Open pins that start at a step (blocks are resident then). *)
+  let open_pins i =
+    List.iter
+      (fun (blk : Cplan.block) ->
+        Buffer_pool.pin pool (key_of blk);
+        match trace with
+        | Some sk ->
+            sk.Trace.emit
+              (Trace.Pin_open { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
+        | None -> ())
+      pin_start.(i)
+  in
+  (* Close pins ending at a step; a dead unpinned buffer is released (and its
+     data discarded if its write was elided - every consumer has been
+     served). *)
+  let close_pins i =
+    List.iter
+      (fun (blk : Cplan.block) ->
+        Buffer_pool.unpin pool (key_of blk);
+        (match trace with
+        | Some sk ->
+            sk.Trace.emit
+              (Trace.Pin_close { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
+        | None -> ());
+        drop_dead i blk)
+      pin_stop.(i)
+  in
+  let exec_interpret i (st : Cplan.step) =
       cur_step := i;
       let s = Program.find_stmt plan.Cplan.prog st.Cplan.stmt in
-      (match trace with
-      | Some sk ->
-          sk.Trace.emit
-            (Trace.Step_begin { step = i; stmt = st.Cplan.stmt; instance = st.Cplan.instance })
-      | None -> ());
+      step_begin i st.Cplan.stmt st.Cplan.instance;
       (* 1. Bring read blocks in. *)
       let read_buffers =
         List.map
@@ -305,16 +381,8 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
             then Dense.fill buf 0.;
             Some (wa, blk, dst, buf, bs)
       in
-      (* 3. Open pins that start at this step (blocks are resident now). *)
-      List.iter
-        (fun (blk : Cplan.block) ->
-          Buffer_pool.pin pool (key_of blk);
-          match trace with
-          | Some sk ->
-              sk.Trace.emit
-                (Trace.Pin_open { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
-          | None -> ())
-        pin_start.(i);
+      (* 3. Open pins that start at this step. *)
+      open_pins i;
       (* 4. Compute. *)
       if compute then begin
         (* Operands are resolved by the block they touch: duplicate-block
@@ -418,19 +486,8 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
           (match dst with
           | Cplan.To_disk -> Buffer_pool.write_through pool bs blk.Cplan.index
           | Cplan.Elided -> ()));
-      (* 6. Close pins ending here; a dead unpinned buffer is released (and
-         its data discarded if its write was elided - every consumer has
-         been served). *)
-      List.iter
-        (fun (blk : Cplan.block) ->
-          Buffer_pool.unpin pool (key_of blk);
-          (match trace with
-          | Some sk ->
-              sk.Trace.emit
-                (Trace.Pin_close { step = i; array = blk.Cplan.array; index = blk.Cplan.index })
-          | None -> ());
-          drop_dead i blk)
-        pin_stop.(i);
+      (* 6. Close pins ending here. *)
+      close_pins i;
       (* An elided write with no pin at all is dead immediately. *)
       (match write_buf with
       | Some (_, blk, Cplan.Elided, _, _) -> drop_dead i blk
@@ -449,11 +506,230 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
           backend.Backend.sync ();
           Journal.append w ~step:i
       | _ -> ());
-      match trace with
-      | Some sk -> sk.Trace.emit (Trace.Step_end { step = i })
-      | None -> ()
-      end)
-    plan.Cplan.steps;
+      step_end i
+  in
+  (* --- Tile-vectorized execution over the compiled plan.  Same pool
+     operations in the same order as the interpreter, phase for phase, except
+     that fused groups neither allocate nor touch their link blocks (no
+     get/get_for_write/pin on them) and journal a single watermark at the
+     latest safe boundary in their range. *)
+  (* Replay a step's planned reads from compiled metadata, capturing each
+     buffer.  [skip] is the index of a fused group's incoming link read: it
+     exists only as the chain's scratch tile, so only its trace event is
+     replayed (its residency check, pool lookup and undo-image test all
+     concern a buffer that never exists - and a link block is never in any
+     undo set, because no step writes it to disk). *)
+  let read_phase ~skip (s : Vexec.single) captured =
+    let i = s.Vexec.s_step in
+    Array.iteri
+      (fun r ((blk : Cplan.block), src) ->
+        if r = skip then begin
+          match trace with
+          | Some sk ->
+              sk.Trace.emit
+                (Trace.Read
+                   { step = i;
+                     array = blk.Cplan.array;
+                     index = blk.Cplan.index;
+                     src = Trace.Memory })
+          | None -> ()
+        end
+        else begin
+          (match src with
+          | Cplan.From_memory ->
+              if not (Buffer_pool.contains pool (key_of blk)) then
+                raise
+                  (Error
+                     (Missing_block
+                        { step = i;
+                          stmt = s.Vexec.s_stmt;
+                          array = blk.Cplan.array;
+                          index = blk.Cplan.index;
+                          phase = `Read }))
+          | Cplan.From_disk -> ());
+          (match trace with
+          | Some sk ->
+              sk.Trace.emit
+                (Trace.Read
+                   { step = i;
+                     array = blk.Cplan.array;
+                     index = blk.Cplan.index;
+                     src =
+                       (match src with
+                       | Cplan.From_disk -> Trace.Disk
+                       | Cplan.From_memory -> Trace.Memory) })
+          | None -> ());
+          let data = Buffer_pool.get pool (store blk.Cplan.array) blk.Cplan.index in
+          (match (writer, rplan) with
+          | Some w, Some rp when List.mem (key_of blk) rp.Journal.undo.(i) ->
+              Journal.append_image w ~step:i ~array:blk.Cplan.array
+                ~index:blk.Cplan.index ~data
+          | _ -> ());
+          captured.(r) <- data
+        end)
+      s.Vexec.s_reads
+  in
+  let write_events (s : Vexec.single) =
+    let i = s.Vexec.s_step in
+    match s.Vexec.s_write with
+    | None -> ()
+    | Some (blk, dst) ->
+        Buffer_pool.mark_dirty pool (key_of blk);
+        (match trace with
+        | Some sk ->
+            sk.Trace.emit
+              (Trace.Write
+                 { step = i;
+                   array = blk.Cplan.array;
+                   index = blk.Cplan.index;
+                   elided = (dst = Cplan.Elided) })
+        | None -> ());
+        (match dst with
+        | Cplan.To_disk ->
+            Buffer_pool.write_through pool (store blk.Cplan.array) blk.Cplan.index
+        | Cplan.Elided -> ())
+  in
+  let drop_phase (s : Vexec.single) =
+    let i = s.Vexec.s_step in
+    Array.iter (fun blk -> drop_dead i blk) s.Vexec.s_drops
+  in
+  let exec_single (s : Vexec.single) =
+    let i = s.Vexec.s_step in
+    cur_step := i;
+    step_begin i s.Vexec.s_stmt s.Vexec.s_instance;
+    let captured = Array.make (Array.length s.Vexec.s_reads) [||] in
+    read_phase ~skip:(-1) s captured;
+    let wbuf =
+      match s.Vexec.s_write with
+      | None -> [||]
+      | Some (blk, _) ->
+          let buf =
+            Buffer_pool.get_for_write pool (store blk.Cplan.array) blk.Cplan.index
+          in
+          if s.Vexec.s_fill then Dense.fill buf 0.;
+          buf
+    in
+    open_pins i;
+    let opbufs =
+      Array.map
+        (function
+          | Vexec.Rd r -> captured.(r)
+          | Vexec.Pool blk ->
+              if not (Buffer_pool.contains pool (key_of blk)) then
+                raise
+                  (Error
+                     (Missing_block
+                        { step = i;
+                          stmt = s.Vexec.s_stmt;
+                          array = blk.Cplan.array;
+                          index = blk.Cplan.index;
+                          phase = `Operand }));
+              Buffer_pool.get pool (store blk.Cplan.array) blk.Cplan.index)
+        s.Vexec.s_ops
+    in
+    s.Vexec.s_kernel opbufs wbuf;
+    write_events s;
+    close_pins i;
+    drop_phase s;
+    (match (writer, rplan) with
+    | Some w, Some rp when rp.Journal.safe.(i) ->
+        backend.Backend.sync ();
+        Journal.append w ~step:i
+    | _ -> ());
+    step_end i
+  in
+  let exec_fused (f : Vexec.fused) =
+    let nst = Array.length f.Vexec.f_steps in
+    let captured = f.Vexec.f_captured in
+    for o = 0 to nst - 1 do
+      let s = f.Vexec.f_steps.(o) in
+      let i = s.Vexec.s_step in
+      cur_step := i;
+      step_begin i s.Vexec.s_stmt s.Vexec.s_instance;
+      read_phase ~skip:f.Vexec.f_prev_read.(o) s captured.(o);
+      if o = nst - 1 then begin
+        let dst =
+          match s.Vexec.s_write with
+          | Some (blk, _) ->
+              Buffer_pool.get_for_write pool (store blk.Cplan.array) blk.Cplan.index
+          | None -> assert false (* Fuse: terminal has exactly one write *)
+        in
+        open_pins i;
+        let bufs =
+          Array.map (fun (o', r) -> captured.(o').(r)) f.Vexec.f_binds
+        in
+        (match f.Vexec.f_terminal with
+        | Vexec.Ew -> Dense.run_chain f.Vexec.f_chain ~bufs ~dst
+        | Vexec.Rss { rows; cols } ->
+            let e = Dense.run_stages f.Vexec.f_chain ~bufs in
+            (* The accumulator zero-fill is deferred past the interior
+               stages: they read only captured buffers and the scratch tile,
+               so nothing they consume can alias the fill. *)
+            if s.Vexec.s_fill then Dense.fill dst 0.;
+            Dense.rss_acc ~rows ~cols ~e ~acc:dst);
+        write_events s
+      end
+      else begin
+        open_pins i;
+        (* The interior write exists only in the trace replay: its block is
+           the chain's scratch tile. *)
+        match s.Vexec.s_write with
+        | Some (blk, _) -> (
+            match trace with
+            | Some sk ->
+                sk.Trace.emit
+                  (Trace.Write
+                     { step = i;
+                       array = blk.Cplan.array;
+                       index = blk.Cplan.index;
+                       elided = true })
+            | None -> ())
+        | None -> assert false
+      end;
+      close_pins i;
+      drop_phase s;
+      if o = nst - 1 then begin
+        (* One watermark for the whole fused run, at the latest safe boundary
+           in its range.  Journalling fewer watermarks than the analysis
+           allows is always sound; interior boundaries are unusable anyway
+           (their restart points sit at or below the chain head). *)
+        match (writer, rplan) with
+        | Some w, Some rp ->
+            let j = ref (-1) in
+            for k = f.Vexec.f_lo to f.Vexec.f_hi do
+              if rp.Journal.safe.(k) then j := k
+            done;
+            if !j >= 0 then begin
+              backend.Backend.sync ();
+              Journal.append w ~step:!j
+            end
+        | _ -> ()
+      end;
+      step_end i
+    done
+  in
+  (match compiled with
+  | None ->
+      Array.iteri
+        (fun i st -> if i >= start_step then exec_interpret i st)
+        plan.Cplan.steps
+  | Some cp -> (
+      try
+        Array.iter
+          (function
+            | Vexec.Single s ->
+                if s.Vexec.s_step >= start_step then exec_single s
+            | Vexec.Fused f ->
+                if f.Vexec.f_hi < start_step then ()
+                else if degraded f then
+                  Array.iter
+                    (fun (s : Vexec.single) ->
+                      if s.Vexec.s_step >= start_step then exec_single s)
+                    f.Vexec.f_steps
+                else exec_fused f)
+          cp.Vexec.ops
+      with Vexec.Arity { step; stmt; kernel; operands } ->
+        raise (Error (Kernel_arity { step; stmt; kernel; operands }))));
   backend.Backend.sync ();
   let stats = backend.Backend.stats in
   { wall_seconds = Unix.gettimeofday () -. t0;

@@ -36,6 +36,15 @@ exception Error of error
 val error_to_string : error -> string
 val pp_error : Format.formatter -> error -> unit
 
+type mode =
+  | Interpret
+      (** reference executor: re-walk the plan's IR at every step, resolving
+          statements, kernels, operand accesses and layouts on the fly *)
+  | Vector
+      (** tile-vectorized executor: compile the plan once into per-step
+          closures ({!Vexec}), fusing runs of element-wise steps into single
+          passes over the tile so link blocks never materialize *)
+
 type result = {
   wall_seconds : float;
   virtual_io_seconds : float;  (** simulated backend's clock *)
@@ -56,6 +65,7 @@ val run :
   ?trace:Trace.sink ->
   ?journal:bool ->
   ?resume:bool ->
+  ?mode:mode ->
   Riot_plan.Cplan.t ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
@@ -95,7 +105,23 @@ val run :
     reloaded and re-pinned, and execution continues to completion - a run
     killed at any point (mid-step included) re-run with [~resume:true]
     produces byte-identical output.  See {!Journal} for the format and the
-    safety argument.  Both default off and then cost nothing. *)
+    safety argument.  Both default off and then cost nothing.
+
+    [mode] (default {!Vector}) selects the executor.  A [compute = false]
+    run always interprets (there are no buffers for compiled closures to
+    work on).  The two modes are differentially equivalent by contract:
+    byte-identical array contents, identical physical I/O (request and byte
+    counts, virtual time, per-array breakdown) and identical journal images,
+    whenever [mem_cap] is at least the plan's [peak_memory] (so neither mode
+    evicts).  They intentionally differ in pool-internal accounting: the
+    vectorized executor services fused-chain intermediates from a scratch
+    tile instead of pool buffers, so pool hit/miss counters, [pool_peak_bytes]
+    and the pin/drop trace events of skipped link blocks are lower, and it
+    journals one watermark per fused run (at the latest safe boundary in the
+    range) instead of one per safe step.  Resume composes across modes: a
+    journal written under either executor restarts correctly under either,
+    because watermark records are plan-based and every vectorized watermark
+    is also an interpreter watermark. *)
 
 val run_opportunistic :
   Riot_plan.Cplan.t ->

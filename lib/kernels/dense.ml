@@ -107,6 +107,90 @@ let join_scores ~rows ~cols ~l ~r ~out =
     done
   done
 
+(* --- Fused element-wise chains ---------------------------------------------
+
+   A chain is a compiled sequence of element-wise stages whose intermediate
+   tiles never leave a private scratch buffer.  Each stage is a monomorphic
+   full-tile loop (no per-element closures, so floats stay unboxed under
+   flambda); [Prev] names the previous stage's output and [Buf i] a slot in
+   the caller-supplied operand table.
+
+   Every stage is pointwise at the same index, so a single scratch tile
+   suffices: a stage may read [Prev] (== the scratch it writes) or an
+   operand aliasing its output, and each element is read before it is
+   written.  Per element, every stage performs exactly the floating-point
+   operations of the corresponding standalone kernel in the same order, so a
+   chain's output is bit-identical to running the stages one kernel at a
+   time through separate buffers. *)
+
+type fsrc = Prev | Buf of int
+
+type fstage =
+  | Fadd of fsrc * fsrc
+  | Fsub of fsrc * fsrc
+  | Fcopy of fsrc
+  | Ffilter of fsrc
+  | Fforeach of fsrc
+
+type chain = {
+  c_stages : (float array array -> float array -> float array -> unit) array;
+      (* operand table, previous tile, output tile *)
+  c_scratch : float array;
+}
+
+let compile_stage st =
+  let resolve src bufs prev =
+    match src with Prev -> prev | Buf i -> bufs.(i)
+  in
+  match st with
+  | Fadd (x, y) ->
+      fun bufs prev out ->
+        let a = resolve x bufs prev and b = resolve y bufs prev in
+        for i = 0 to Array.length out - 1 do
+          out.(i) <- a.(i) +. b.(i)
+        done
+  | Fsub (x, y) ->
+      fun bufs prev out ->
+        let a = resolve x bufs prev and b = resolve y bufs prev in
+        for i = 0 to Array.length out - 1 do
+          out.(i) <- a.(i) -. b.(i)
+        done
+  | Fcopy x ->
+      fun bufs prev out ->
+        let a = resolve x bufs prev in
+        Array.blit a 0 out 0 (Array.length out)
+  | Ffilter x ->
+      fun bufs prev out ->
+        let a = resolve x bufs prev in
+        for i = 0 to Array.length out - 1 do
+          out.(i) <- (if a.(i) > 0. then a.(i) else 0.)
+        done
+  | Fforeach x ->
+      fun bufs prev out ->
+        let a = resolve x bufs prev in
+        for i = 0 to Array.length out - 1 do
+          out.(i) <- (2. *. a.(i)) +. 1.
+        done
+
+let compile_chain ~tile stages =
+  if Array.length stages = 0 then invalid_arg "Dense.compile_chain: no stages";
+  { c_stages = Array.map compile_stage stages; c_scratch = Array.make tile 0. }
+
+let stage_count ch = Array.length ch.c_stages
+
+let run_chain ch ~bufs ~dst =
+  let n = Array.length ch.c_stages in
+  let s = ch.c_scratch in
+  for i = 0 to n - 2 do
+    ch.c_stages.(i) bufs s s
+  done;
+  ch.c_stages.(n - 1) bufs s dst
+
+let run_stages ch ~bufs =
+  let s = ch.c_scratch in
+  Array.iter (fun stage -> stage bufs s s) ch.c_stages;
+  s
+
 let max_abs_diff a b =
   let m = ref 0. in
   Array.iteri

@@ -50,5 +50,52 @@ val join_scores :
 (** Block nested-loop join: [out.(i,j) = l.(i) * r.(j)] over the first
     [rows] elements of [l] and [cols] of [r] (outer-product match scores). *)
 
+(** {2 Fused element-wise chains}
+
+    A chain runs a sequence of element-wise stages over one tile, keeping
+    every intermediate in a private scratch buffer instead of a pool block.
+    Stages are compiled once into monomorphic full-tile loops (floats stay
+    unboxed under flambda) and reused across blocks.  Per element, each
+    stage performs exactly the floating-point operations of the standalone
+    kernel in the same order, so chain outputs are bit-identical to running
+    the kernels one step at a time through separate buffers — the property
+    the differential executor harness asserts.
+
+    All stages are pointwise at the same index, so aliasing is safe: a
+    stage's output may alias [Prev] or any operand (each element is read
+    before it is written). *)
+
+type fsrc =
+  | Prev  (** the previous stage's output tile *)
+  | Buf of int  (** slot [i] of the caller-supplied operand table *)
+
+type fstage =
+  | Fadd of fsrc * fsrc
+  | Fsub of fsrc * fsrc
+  | Fcopy of fsrc
+  | Ffilter of fsrc  (** {!filter_pos} *)
+  | Fforeach of fsrc  (** {!foreach_affine} *)
+
+type chain
+(** A compiled chain owns its scratch tile, so one chain value must not run
+    concurrently from several domains; compile per executor instance. *)
+
+val compile_chain : tile:int -> fstage array -> chain
+(** Compile the stages over a scratch tile of [tile] elements.  The first
+    stage must not reference [Prev].
+    @raise Invalid_argument on an empty stage array. *)
+
+val stage_count : chain -> int
+
+val run_chain : chain -> bufs:float array array -> dst:float array -> unit
+(** Run all stages; every stage but the last writes the scratch tile, the
+    last writes [dst] (looping over [Array.length dst] elements, exactly as
+    the standalone kernel would). *)
+
+val run_stages : chain -> bufs:float array array -> float array
+(** Run all stages into the scratch tile and return it (borrowed — valid
+    until the next run).  Used when a non-element-wise terminal (e.g. an
+    RSS accumulation) consumes the chain's final tile. *)
+
 val max_abs_diff : float array -> float array -> float
 (** Infinity-norm distance (test helper). *)

@@ -66,9 +66,119 @@ let gen rng =
   in
   B.program ~name:"random" ~params:[ "n" ] ~arrays (List.init n_nests nest)
 
+(* Chain programs for the vectorized executor: named element-wise kernels
+   wired producer-to-consumer through intermediate arrays with identity
+   subscripts, so that plans realizing the W->R sharing yield fusable runs
+   (and plans that don't exercise the singles path on the same kernels). *)
+(* Program sizes stay gen-like (2-5 statements): the Farkas schedule search
+   behind [Search.enumerate] is super-linear in statement count, and both
+   the fault campaign and the differential tests enumerate these. *)
+let gen_ew rng =
+  let n_chains = 1 in
+  let counter = ref 0 in
+  let fresh () =
+    incr counter;
+    Printf.sprintf "s%d" !counter
+  in
+  let inputs = [ "A"; "B" ] in
+  let input rng = List.nth inputs (Random.State.int rng 2) in
+  let t_name ni k = Printf.sprintf "T%d_%d" ni k in
+  let chain_arrays = ref [] in
+  let chain ni =
+    let vars = [ Printf.sprintf "v%d_0" ni; Printf.sprintf "v%d_1" ni ] in
+    let ids = List.map B.var vars in
+    let len = 2 + Random.State.int rng 3 in
+    let out = Printf.sprintf "O%d" ni in
+    let rss = Random.State.int rng 3 = 0 in
+    (* Intermediates T<ni>_1 .. T<ni>_<len-1> carry the chain; the last
+       statement lands in O<ni>. *)
+    chain_arrays :=
+      Array_info.make ~kind:Array_info.Output out ~ndims:2
+      :: List.init (len - 1) (fun k ->
+             Array_info.make ~kind:Array_info.Intermediate (t_name ni (k + 1))
+               ~ndims:2)
+      @ !chain_arrays;
+    let unary prev dst =
+      let kernel =
+        match Random.State.int rng 3 with
+        | 0 -> Kernel.Copy
+        | 1 -> Kernel.Filter
+        | _ -> Kernel.Foreach
+      in
+      B.stmt (fresh ()) ~kernel
+        ~accs:[ (Access.Write, dst, ids, []); (Access.Read, prev, ids, []) ]
+    in
+    let binary prev dst =
+      let kernel =
+        if Random.State.bool rng then Kernel.Assign_add else Kernel.Assign_sub
+      in
+      let other = input rng in
+      let os = [ sub_of vars rng; sub_of vars rng ] in
+      B.stmt (fresh ()) ~kernel
+        ~accs:
+          [ (Access.Write, dst, ids, []);
+            (Access.Read, prev, ids, []);
+            (Access.Read, other, os, []) ]
+    in
+    let stage prev dst =
+      if Random.State.int rng 2 = 0 then unary prev dst else binary prev dst
+    in
+    let first = stage (input rng) (t_name ni 1) in
+    let middle =
+      List.init (len - 2) (fun k -> stage (t_name ni (k + 1)) (t_name ni (k + 2)))
+    in
+    let last =
+      let prev = t_name ni (len - 1) in
+      if rss then
+        let v0 = List.nth vars 0 and v1 = List.nth vars 1 in
+        B.stmt (fresh ()) ~kernel:Kernel.Rss_acc
+          ~accs:
+            [ (Access.Write, out, [ B.cst 0; B.cst 0 ], []);
+              ( Access.Read,
+                out,
+                [ B.cst 0; B.cst 0 ],
+                [ B.(var v0 + var v1 - cst 1) ] );
+              (Access.Read, prev, ids, []) ]
+      else stage prev out
+    in
+    let body = (first :: middle) @ [ last ] in
+    List.fold_right
+      (fun v acc -> [ B.for_ v ~lo:(B.cst 0) ~hi:(B.var "n") acc ])
+      vars body
+    |> List.hd
+  in
+  let chains = List.init n_chains chain in
+  (* Occasionally mix in an opaque nest over the shared inputs, so the
+     differential harness also crosses fused and interpreted-style steps in
+     one plan. *)
+  let opaque =
+    if Random.State.int rng 3 = 0 then begin
+      chain_arrays :=
+        Array_info.make ~kind:Array_info.Output "OP" ~ndims:2 :: !chain_arrays;
+      let vars = [ "w0" ] in
+      [ B.for_ "w0" ~lo:(B.cst 0) ~hi:(B.var "n")
+          [ B.stmt (fresh ()) ~kernel:(Kernel.Opaque "mix")
+              ~accs:
+                [ (Access.Write, "OP", [ sub_of vars rng; sub_of vars rng ], []);
+                  (Access.Read, "A", [ sub_of vars rng; sub_of vars rng ], []);
+                  (Access.Read, "B", [ sub_of vars rng; sub_of vars rng ], [])
+                ] ] ]
+    end
+    else []
+  in
+  let arrays =
+    List.map (fun nm -> Array_info.make ~kind:Array_info.Input nm ~ndims:2) inputs
+    @ List.rev !chain_arrays
+  in
+  B.program ~name:"random_ew" ~params:[ "n" ] ~arrays (chains @ opaque)
+
 let with_program seed f =
   let rng = Random.State.make [| seed; master_seed () |] in
   f (gen rng)
+
+let with_ew_program seed f =
+  let rng = Random.State.make [| seed; master_seed () |] in
+  f (gen_ew rng)
 
 let config_for (prog : Program.t) =
   Config.make ~params:ref_params

@@ -32,9 +32,22 @@ val master_seed : unit -> int
 val gen : Random.State.t -> Riot_ir.Program.t
 (** Generate one program (2-3 arrays of random kinds, 2-3 nests). *)
 
+val gen_ew : Random.State.t -> Riot_ir.Program.t
+(** Generate one element-wise chain program: 1-2 depth-2 nests, each a
+    producer-consumer chain of 2-5 named element-wise kernels (add, sub,
+    copy, filter, foreach) threaded through [Intermediate] arrays with
+    identity subscripts, optionally terminated by an [Rss_acc] reduction,
+    plus occasionally an opaque nest over the shared inputs.  Plans that
+    realize the chain's W->R sharing produce fusable runs for the
+    tile-vectorized executor; plans that don't exercise its singles path on
+    the same kernels. *)
+
 val with_program : int -> (Riot_ir.Program.t -> 'a) -> 'a
 (** Run [f] on the program generated from
     [Random.State.make [| seed; master_seed () |]]. *)
+
+val with_ew_program : int -> (Riot_ir.Program.t -> 'a) -> 'a
+(** {!with_program} for {!gen_ew}'s distribution. *)
 
 val config_for : Riot_ir.Program.t -> Riot_ir.Config.t
 (** The reference configuration: every array [nval x nval] blocks of

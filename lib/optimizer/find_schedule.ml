@@ -14,10 +14,33 @@ module Log = (val Logs.src_log log : Logs.LOG)
 
 (* --- Sampling with connected-component decomposition -------------------- *)
 
+(* Deterministic work budget for integer sampling.  The bound descent in
+   [Poly.sample] is exponential in the number of coupled schedule-coefficient
+   dimensions that carry no two-side bound, and one pathological candidate
+   (e.g. an identity access coupled to a rank-deficient diagonal one) can
+   otherwise stall the whole enumeration for hours.  The budget counts search
+   -tree nodes via the [prefer] hook and spans a whole [find] call, so a
+   candidate's total work stays bounded across components, range retries and
+   non-zero-forcing branches.  Running out reads as "no schedule found",
+   which the greedy heuristic is always free to answer. *)
+let sample_fuel = 100_000
+
+exception Out_of_fuel
+
+let budgeted_sample ~fuel ~range p =
+  let prefer _k candidates =
+    fuel := !fuel - List.length candidates;
+    if !fuel < 0 then raise Out_of_fuel;
+    (* Default ordering of [Poly.sample]: nearest to zero first. *)
+    List.stable_sort (fun a b -> compare (abs a, a) (abs b, b)) candidates
+  in
+  if !fuel < 0 then None
+  else Poly.sample ~range ~prefer ~fm_budget:2000 p
+
 (* The unknown space couples statements only through shared constraints;
    decomposing into connected components keeps the recursive bound descent
    tractable. *)
-let sample_decomposed ~range p =
+let sample_decomposed ~fuel ~range p =
   let p = Poly.simplify p in
   if Poly.is_obviously_empty p then None
   else begin
@@ -57,7 +80,7 @@ let sample_decomposed ~range p =
           in
           (* Constant-only constraints fall outside every component; check
              them through the full-space membership test at the end. *)
-          match Poly.sample ~range subp with
+          match budgeted_sample ~fuel ~range subp with
           | Some pt -> assignment := pt @ !assignment
           | None -> raise Fail)
         comps;
@@ -72,21 +95,21 @@ let sample_decomposed ~range p =
     with Fail -> None
   end
 
-let sample_with_retries p =
-  match sample_decomposed ~range:3 p with
+let sample_with_retries ~fuel p =
+  match sample_decomposed ~fuel ~range:3 p with
   | Some pt -> Some pt
-  | None -> sample_decomposed ~range:16 p
+  | None -> sample_decomposed ~fuel ~range:16 p
 
 (* Sample a point such that, for each name-set in [nonzero], at least one of
    the names is non-zero (needed for rows that must be linearly
    independent). *)
-let sample_nonzero p ~nonzero =
+let sample_nonzero ~fuel p ~nonzero =
   let ok pt =
     List.for_all
       (fun names -> List.exists (fun nm -> List.assoc nm pt <> 0) names)
       nonzero
   in
-  match sample_with_retries p with
+  match sample_with_retries ~fuel p with
   | Some pt when ok pt -> Some pt
   | base -> (
       ignore base;
@@ -101,7 +124,7 @@ let sample_nonzero p ~nonzero =
           names
       in
       let rec force cur = function
-        | [] -> sample_with_retries cur
+        | [] -> sample_with_retries ~fuel cur
         | names :: rest ->
             List.find_map
               (fun p2 ->
@@ -129,6 +152,7 @@ let classify (ca : Coaccess.t) =
 (* --- The main search ----------------------------------------------------- *)
 
 let find ss ~prog ~q ~deps =
+  let fuel = ref sample_fuel in
   let dtil = Program.max_depth prog in
   let stmts = prog.Program.stmts in
   let u = Sched_space.space ss in
@@ -242,7 +266,7 @@ let find ss ~prog ~q ~deps =
               if l = 1 then Some (Sched_space.loop_coeff_names ss ~stmt:nm) else None)
             !choices
         in
-        match sample_nonzero !x ~nonzero with
+        match sample_nonzero ~fuel !x ~nonzero with
         | None ->
             Log.debug (fun m -> m "depth %d: sampling failed for %a with nonzero=[%s]" d Poly.pp !x (String.concat "; " (List.map (String.concat ",") nonzero)));
             None
@@ -342,8 +366,14 @@ let find ss ~prog ~q ~deps =
   in
   if dtil = 0 then assign_constants init
   else
-    List.find_map
-      (fun qsr_signs ->
-        Log.debug (fun m -> m "trying sign combo");
-        run init 1 ~qsr_signs)
-      (sign_combos qsr)
+    try
+      List.find_map
+        (fun qsr_signs ->
+          Log.debug (fun m -> m "trying sign combo");
+          run init 1 ~qsr_signs)
+        (sign_combos qsr)
+    with Out_of_fuel ->
+      Log.warn (fun m ->
+          m "sampling budget exhausted for {%s}; candidate dropped"
+            (String.concat ", " (List.map Coaccess.label q)));
+      None

@@ -411,8 +411,13 @@ let actual_io_seconds m t =
   Machine.io_seconds_actual m ~read_bytes:t.read_bytes ~write_bytes:t.write_bytes
     ~requests:(t.read_ops + t.write_ops)
 
-let cpu_seconds (m : Machine.t) t =
-  (t.flops /. m.Machine.gemm_flops) +. (t.moved_bytes /. m.Machine.elementwise_bw)
+let cpu_seconds ?(vectorized = true) (m : Machine.t) t =
+  let dispatch =
+    if vectorized then m.Machine.dispatch_vector else m.Machine.dispatch_interp
+  in
+  (t.flops /. m.Machine.gemm_flops)
+  +. (t.moved_bytes /. m.Machine.elementwise_bw)
+  +. (float_of_int (Array.length t.steps) *. dispatch)
 
 let total_predicted_seconds m t = predicted_io_seconds m t +. cpu_seconds m t
 

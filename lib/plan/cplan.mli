@@ -80,7 +80,10 @@ val predicted_io_seconds : Machine.t -> t -> float
 val actual_io_seconds : Machine.t -> t -> float
 (** Simulated-disk time: volume plus per-request overhead. *)
 
-val cpu_seconds : Machine.t -> t -> float
+val cpu_seconds : ?vectorized:bool -> Machine.t -> t -> float
+(** Kernel time (flops and moved bytes) plus per-step dispatch overhead:
+    [steps * dispatch_vector] by default (the engine's default executor),
+    [steps * dispatch_interp] with [~vectorized:false]. *)
 
 val total_predicted_seconds : Machine.t -> t -> float
 (** I/O + CPU (the program is executed phase by phase, as in the paper's

@@ -13,10 +13,18 @@ type t = {
   request_overhead : float;  (** seconds per I/O request (simulated disk) *)
   gemm_flops : float;  (** sustained flop/s for matrix multiplication *)
   elementwise_bw : float;  (** bytes/second for element-wise kernels *)
+  dispatch_interp : float;
+      (** seconds of per-step overhead when the engine interprets the plan
+          (IR re-walk, operand lookup) — dominates dispatch-bound runs *)
+  dispatch_vector : float;
+      (** seconds of per-step overhead under the tile-vectorized executor
+          (precompiled closures) *)
 }
 
 val paper : t
-(** The configuration measured in Section 6. *)
+(** The configuration measured in Section 6, extended with per-step
+    dispatch constants calibrated on the [cpubound] benchmark (see
+    EXPERIMENTS.md). *)
 
 val mb : float -> float
 (** Megabytes (2^20) to bytes. *)

@@ -176,10 +176,15 @@ let compact t =
   in
   { t with eqs; ges }
 
+exception Fm_budget_exceeded
+
 (* Eliminate one dimension. Prefers exact substitution via an equality with a
    unit coefficient; otherwise falls back to FM over the inequalities (with
-   non-unit equalities split into two inequalities). *)
-let eliminate_one ~tighten t name =
+   non-unit equalities split into two inequalities).  [combo_budget], when
+   given, raises [Fm_budget_exceeded] sooner than materializing more than
+   that many pos*neg combinations — the step that makes FM double
+   exponential. *)
+let eliminate_one ?combo_budget ~tighten t name =
   let i = Space.index t.space name in
   let coeff a = a.Aff.coeffs.(i) in
   let unit_eq = List.find_opt (fun a -> abs (coeff a) = 1) (List.filter (fun a -> coeff a <> 0) t.eqs) in
@@ -200,6 +205,10 @@ let eliminate_one ~tighten t name =
       let ges = t.ges @ List.concat_map (fun a -> [ a; Aff.neg a ]) eq_with in
       let pos, rest = List.partition (fun a -> coeff a > 0) ges in
       let negs, zero = List.partition (fun a -> coeff a < 0) rest in
+      (match combo_budget with
+      | Some b when List.length pos * List.length negs > b ->
+          raise Fm_budget_exceeded
+      | _ -> ());
       let combos =
         List.concat_map
           (fun p ->
@@ -320,25 +329,77 @@ let split_components t =
     if consts.eqs = [] && consts.ges = [] then comps else consts :: comps
   end
 
+(* Fourier-Motzkin emptiness is double-exponential in the worst case: each
+   elimination can square the inequality count.  Past this many inequalities
+   in an intermediate system we give up on the component and conservatively
+   answer "not provably empty" - sound for every caller, since emptiness only
+   gates pruning and dropping (a retained non-empty verdict is re-tested by
+   whatever sampling or verification follows). *)
+let fm_inequality_budget = 4000
+
 let is_rationally_empty t =
   let t = simplify ~tighten:false t in
   if is_obviously_empty t then true
   else
+    (* Greedy elimination order: always the dimension whose pos*neg
+       inequality product is smallest, which delays the blow-up FM is prone
+       to under a fixed order. *)
+    let eliminate_all c =
+      let rec go c names =
+        if is_obviously_empty c then true
+        else
+          match names with
+          | [] -> false
+          | _ ->
+              let cost nm =
+                let i = Space.index c.space nm in
+                let pos = ref 0 and neg = ref 0 and eq = ref false in
+                List.iter
+                  (fun (a : Aff.t) -> if a.Aff.coeffs.(i) <> 0 then eq := true)
+                  c.eqs;
+                List.iter
+                  (fun (a : Aff.t) ->
+                    if a.Aff.coeffs.(i) > 0 then incr pos
+                    else if a.Aff.coeffs.(i) < 0 then incr neg)
+                  c.ges;
+                if !eq then -1 else !pos * !neg
+              in
+              let best =
+                List.fold_left
+                  (fun (bn, bc) nm ->
+                    let cn = cost nm in
+                    if cn < bc then (nm, cn) else (bn, bc))
+                  (List.hd names, cost (List.hd names))
+                  (List.tl names)
+                |> fst
+              in
+              go
+                (eliminate_one ~combo_budget:fm_inequality_budget ~tighten:false
+                   c best)
+                (List.filter (fun nm -> nm <> best) names)
+      in
+      go c (Space.names c.space)
+    in
     List.exists
-      (fun c ->
-        is_obviously_empty
-          (eliminate ~tighten:false c (Space.names c.space)))
+      (fun c -> try eliminate_all c with Fm_budget_exceeded -> false)
       (split_components t)
 
-(* Levels for bound descent: [levels.(k)] only constrains dims 0..k. *)
-let cascade t =
+(* Levels for bound descent: [levels.(k)] only constrains dims 0..k.
+   [fm_budget], when given, caps the pos*neg combination count of every
+   projection step: the elimination order here is forced (dims project
+   top-down), so one pathological system can otherwise square its
+   constraint count at every level.  Overflow raises [Fm_budget_exceeded],
+   which [search] reports through the truncation channel. *)
+let cascade ?fm_budget t =
   let n = Space.dim t.space in
   let levels = Array.make (max n 1) (simplify t) in
   if n = 0 then levels
   else begin
     levels.(n - 1) <- simplify t;
     for k = n - 1 downto 1 do
-      levels.(k - 1) <- eliminate_one ~tighten:true levels.(k) (Space.name t.space k)
+      levels.(k - 1) <-
+        eliminate_one ?combo_budget:fm_budget ~tighten:true levels.(k)
+          (Space.name t.space k)
     done;
     levels
   end
@@ -405,14 +466,20 @@ let candidates_of_bounds ~range b =
     | None, Some h -> Window_truncated (range_list (h - (2 * range)) h)
     | None, None -> Window_unbounded
 
-let search ?(range = 64) ?(prefer = default_prefer) ?on_truncate ~all
+let search ?(range = 64) ?(prefer = default_prefer) ?on_truncate ?fm_budget ~all
     ?(max_points = 1_000_000) t =
   let n = Space.dim t.space in
   let t = simplify t in
   if is_obviously_empty t then []
   else if n = 0 then [ [] ]
   else begin
-    let levels = cascade t in
+    match cascade ?fm_budget t with
+    | exception Fm_budget_exceeded ->
+        (* Give up, reported like a window truncation: "no point found" is
+           a search surrender here, never an emptiness verdict. *)
+        (match on_truncate with Some f -> f "<fm-budget>" | None -> ());
+        []
+    | levels ->
     if Array.exists is_obviously_empty levels then []
     else begin
       let vals = Array.make n 0 in
@@ -461,8 +528,8 @@ let search ?(range = 64) ?(prefer = default_prefer) ?on_truncate ~all
     end
   end
 
-let sample ?range ?prefer ?on_truncate t =
-  match search ?range ?prefer ?on_truncate ~all:false t with
+let sample ?range ?prefer ?on_truncate ?fm_budget t =
+  match search ?range ?prefer ?on_truncate ?fm_budget ~all:false t with
   | [] -> None
   | p :: _ -> Some p
 

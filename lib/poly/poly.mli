@@ -96,6 +96,7 @@ val sample :
   ?range:int ->
   ?prefer:(int -> int list -> int list) ->
   ?on_truncate:(string -> unit) ->
+  ?fm_budget:int ->
   t ->
   (string * int) list option
 (** An integer point, as an assignment for every dimension of the space.
@@ -103,7 +104,12 @@ val sample :
     (default: nearest-zero first).  [range] bounds the search on dimensions
     without two-side bounds (default 64); [on_truncate] fires with the
     dimension name whenever such a window cap is applied, so [None] can be
-    told apart from "gave up" (see {!is_integrally_empty}). *)
+    told apart from "gave up" (see {!is_integrally_empty}).  [fm_budget],
+    when given, caps the inequality count of any intermediate
+    Fourier-Motzkin level of the bound cascade; overflowing it surrenders
+    the whole search ([None] plus [on_truncate "<fm-budget>"]) instead of
+    risking a double-exponential constraint blow-up.  Exactness-sensitive
+    callers should omit it (the default is unlimited). *)
 
 val enumerate : ?max_points:int -> t -> (string * int) list list
 (** All integer points.  Every dimension must be two-side bounded — a

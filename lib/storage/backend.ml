@@ -119,18 +119,39 @@ let file ~root =
 
 (* --- Simulated backend --------------------------------------------------- *)
 
+(* A retained stream: zero-initialised backing bytes grown geometrically,
+   with the logical length tracked separately.  Reads blit the requested
+   window and writes splice in place, so block I/O costs the block size —
+   a [Buffer.t] here would copy the whole stream on every read and rebuild
+   it on every mid-stream overwrite, turning dispatch-bound runs
+   quadratic in the block count (cpubound exposed this). *)
+type sim_stream = { mutable sdata : Bytes.t; mutable slen : int }
+
 let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
   let stats = Io_stats.create () in
   (* Each name maps to its current size and, when retaining, its contents. *)
   let sizes : (string, int) Hashtbl.t = Hashtbl.create 8 in
-  let contents : (string, Buffer.t) Hashtbl.t = Hashtbl.create 8 in
-  let buffer_of name =
+  let contents : (string, sim_stream) Hashtbl.t = Hashtbl.create 8 in
+  let stream_of name =
     match Hashtbl.find_opt contents name with
-    | Some b -> b
+    | Some s -> s
     | None ->
-        let b = Buffer.create 4096 in
-        Hashtbl.add contents name b;
-        b
+        let s = { sdata = Bytes.make 4096 '\000'; slen = 0 } in
+        Hashtbl.add contents name s;
+        s
+  in
+  (* Growth keeps the tail zeroed, so a write past [slen] needs no explicit
+     gap fill. *)
+  let ensure s n =
+    if Bytes.length s.sdata < n then begin
+      let cap = ref (2 * Bytes.length s.sdata) in
+      while !cap < n do
+        cap := 2 * !cap
+      done;
+      let d = Bytes.make !cap '\000' in
+      Bytes.blit s.sdata 0 d 0 s.slen;
+      s.sdata <- d
+    end
   in
   let cur_size name = Option.value ~default:0 (Hashtbl.find_opt sizes name) in
   let pread ~name ~off ~len =
@@ -138,11 +159,10 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
       stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
     Io_stats.add_read ~stream:name stats len;
     if retain_data then begin
-      let b = buffer_of name in
-      let have = Buffer.length b in
+      let s = stream_of name in
       let out = Bytes.make len '\000' in
-      let avail = max 0 (min len (have - off)) in
-      if avail > 0 then Bytes.blit (Buffer.to_bytes b) off out 0 avail;
+      let avail = max 0 (min len (s.slen - off)) in
+      if avail > 0 then Bytes.blit s.sdata off out 0 avail;
       out
     end
     else Bytes.make len '\000'
@@ -154,23 +174,10 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
     Io_stats.add_write ~stream:name stats len;
     Hashtbl.replace sizes name (max (cur_size name) (off + len));
     if retain_data then begin
-      let b = buffer_of name in
-      (* Extend with zeroes to [off], then splice. Buffer has no random
-         write, so rebuild when overwriting the middle. *)
-      if Buffer.length b = off then Buffer.add_bytes b data
-      else if Buffer.length b < off then begin
-        Buffer.add_bytes b (Bytes.make (off - Buffer.length b) '\000');
-        Buffer.add_bytes b data
-      end
-      else begin
-        let old = Buffer.to_bytes b in
-        let newlen = max (Bytes.length old) (off + len) in
-        let merged = Bytes.make newlen '\000' in
-        Bytes.blit old 0 merged 0 (Bytes.length old);
-        Bytes.blit data 0 merged off len;
-        Buffer.clear b;
-        Buffer.add_bytes b merged
-      end
+      let s = stream_of name in
+      ensure s (off + len);
+      Bytes.blit data 0 s.sdata off len;
+      s.slen <- max s.slen (off + len)
     end
   in
   let read_discard ~name ~off ~len =

@@ -395,15 +395,16 @@ let campaign_ok (r : Fault_fuzz.result) =
   List.iter (fun m -> Printf.printf "mismatch: %s\n" m) r.Fault_fuzz.mismatches;
   Printf.printf
     "faultfuzz: %d programs, %d plans, %d crash cases, %d recoveries, %d \
-     transient, %d faults, %d retries (RIOT_TEST_SEED=%d)\n"
+     transient, %d vectorized, %d faults, %d retries (RIOT_TEST_SEED=%d)\n"
     r.Fault_fuzz.programs r.Fault_fuzz.plans r.Fault_fuzz.crash_cases
     r.Fault_fuzz.recoveries r.Fault_fuzz.transient_cases
-    r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
+    r.Fault_fuzz.vector_cases r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
     (Rand_prog.master_seed ());
   Alcotest.(check (list string)) "no mismatches" [] r.Fault_fuzz.mismatches;
   check_int "every crash recovered" r.Fault_fuzz.crash_cases
     r.Fault_fuzz.recoveries;
   check_bool "some crashes exercised" true (r.Fault_fuzz.crash_cases > 0);
+  check_bool "vectorized runs compared" true (r.Fault_fuzz.vector_cases > 0);
   check_bool "transient faults absorbed" true (r.Fault_fuzz.retries > 0)
 
 let test_campaign_smoke () =

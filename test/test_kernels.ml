@@ -126,6 +126,122 @@ let test_rss () =
   Dense.rss_acc ~rows:2 ~cols:2 ~e ~acc;
   check_bool "rss" true (acc = [| 10.; 120. |])
 
+(* --- Fused chain edge cases -------------------------------------------------
+
+   The vectorized executor's correctness contract is that a compiled chain is
+   bit-identical (Int64.bits_of_float, so NaN payloads and signed zeros
+   count) to running the standalone kernels one step at a time through
+   separate buffers.  These cases pin the boundaries QCheck rarely lands on:
+   non-finite inputs, zero-length tiles, tile sizes that don't divide the
+   block, and a destination aliasing an operand. *)
+
+let bits_equal a b =
+  Array.length a = Array.length b
+  && Array.for_all2
+       (fun x y -> Int64.equal (Int64.bits_of_float x) (Int64.bits_of_float y))
+       a b
+
+(* Reference: each stage through the standalone kernel into a fresh buffer. *)
+let stepwise stages ~len ~bufs =
+  let prev = ref (Array.make len 0.) in
+  Array.iter
+    (fun st ->
+      let out = Array.make len 0. in
+      let r = function
+        | Dense.Prev -> !prev
+        | Dense.Buf i -> Array.sub bufs.(i) 0 len
+      in
+      (match st with
+      | Dense.Fadd (x, y) -> Dense.add (r x) (r y) out
+      | Dense.Fsub (x, y) -> Dense.sub (r x) (r y) out
+      | Dense.Fcopy x -> Dense.copy ~src:(r x) ~dst:out
+      | Dense.Ffilter x -> Dense.filter_pos ~src:(r x) ~dst:out
+      | Dense.Fforeach x -> Dense.foreach_affine ~src:(r x) ~dst:out);
+      prev := out)
+    stages;
+  !prev
+
+let specials =
+  [| Float.nan; Float.infinity; Float.neg_infinity; -0.; 0.; 1e-310;
+     -1e-310; Float.max_float; -.Float.max_float; 1.5; -2.25; 3. |]
+
+let special_array st len =
+  Array.init len (fun _ ->
+      specials.(Random.State.int st (Array.length specials)))
+
+let chain_stages =
+  [| Dense.Fadd (Buf 0, Buf 1);
+     Dense.Fforeach Prev;
+     Dense.Fsub (Prev, Buf 2);
+     Dense.Ffilter Prev;
+     Dense.Fcopy Prev |]
+
+let test_chain_nan_inf () =
+  let st = Random.State.make [| 101 |] in
+  let len = 12 in
+  let bufs = Array.init 3 (fun _ -> special_array st len) in
+  let ch = Dense.compile_chain ~tile:len chain_stages in
+  let dst = Array.make len 0. in
+  Dense.run_chain ch ~bufs ~dst;
+  check_bool "NaN/inf bit-identical to stepwise" true
+    (bits_equal dst (stepwise chain_stages ~len ~bufs))
+
+let test_chain_zero_len () =
+  let ch = Dense.compile_chain ~tile:0 chain_stages in
+  let bufs = Array.init 3 (fun _ -> [||]) in
+  let dst = [||] in
+  Dense.run_chain ch ~bufs ~dst;
+  check_bool "zero-length tile runs" true (Dense.stage_count ch = 5);
+  check_bool "zero-length stages" true
+    (Array.length (Dense.run_stages ch ~bufs) = 0)
+
+let test_chain_ragged () =
+  (* A chain compiled for a full tile must still be exact on the short last
+     tile of a block: the final stage loops over [dst], not the scratch. *)
+  let st = Random.State.make [| 202 |] in
+  let tile = 17 in
+  let ch = Dense.compile_chain ~tile chain_stages in
+  List.iter
+    (fun len ->
+      let bufs = Array.init 3 (fun _ -> special_array st tile) in
+      let dst = Array.make len 0. in
+      Dense.run_chain ch ~bufs ~dst;
+      let full = stepwise chain_stages ~len:tile ~bufs in
+      check_bool
+        (Printf.sprintf "ragged len=%d" len)
+        true
+        (bits_equal dst (Array.sub full 0 len)))
+    [ 1; 7; 17 ]
+
+let test_chain_aliased_dst () =
+  (* dst aliases an operand of the final stage; every stage reads element i
+     before writing it, so aliasing must not change the result. *)
+  let st = Random.State.make [| 303 |] in
+  let len = 9 in
+  let stages = [| Dense.Fadd (Buf 0, Buf 1); Dense.Fsub (Prev, Buf 2) |] in
+  let bufs = Array.init 3 (fun _ -> special_array st len) in
+  let saved = Array.map Array.copy bufs in
+  let ch = Dense.compile_chain ~tile:len stages in
+  let dst = bufs.(2) in
+  Dense.run_chain ch ~bufs ~dst;
+  check_bool "aliased dst matches stepwise" true
+    (bits_equal dst (stepwise stages ~len ~bufs:saved))
+
+let test_chain_rss_terminal () =
+  (* run_stages + rss_acc (the fused path for a chain ending in a reduction)
+     against standalone kernels + rss_acc. *)
+  let st = Random.State.make [| 404 |] in
+  let rows = 3 and cols = 4 in
+  let len = rows * cols in
+  let stages = [| Dense.Fadd (Buf 0, Buf 1); Dense.Fforeach Prev |] in
+  let bufs = Array.init 2 (fun _ -> special_array st len) in
+  let ch = Dense.compile_chain ~tile:len stages in
+  let acc_fused = Array.init cols (fun j -> float_of_int j) in
+  let acc_ref = Array.copy acc_fused in
+  Dense.rss_acc ~rows ~cols ~e:(Dense.run_stages ch ~bufs) ~acc:acc_fused;
+  Dense.rss_acc ~rows ~cols ~e:(stepwise stages ~len ~bufs) ~acc:acc_ref;
+  check_bool "rss terminal bit-identical" true (bits_equal acc_fused acc_ref)
+
 let qcheck_kernels =
   let open QCheck in
   let dims = Gen.(triple (int_range 1 5) (int_range 1 5) (int_range 1 5)) in
@@ -150,7 +266,42 @@ let qcheck_kernels =
         let c1 = Array.make (m * n) 0. and c2 = Array.make (m * n) 0. in
         Dense.gemm ~accumulate:false ~ta:false ~tb:false ~m ~n ~k ~a ~b ~c:c1;
         Dense.gemm ~accumulate:false ~ta:true ~tb:false ~m ~n ~k ~a:at ~b ~c:c2;
-        close c1 c2) ]
+        close c1 c2);
+    (let gen_chain =
+       let open Gen in
+       let src ~first =
+         if first then map (fun i -> Dense.Buf i) (int_range 0 2)
+         else
+           int_range 0 3 >|= function
+           | 0 -> Dense.Prev
+           | i -> Dense.Buf (i - 1)
+       in
+       let stage ~first =
+         int_range 0 4 >>= fun tag ->
+         src ~first >>= fun x ->
+         match tag with
+         | 0 -> src ~first >|= fun y -> Dense.Fadd (x, y)
+         | 1 -> src ~first >|= fun y -> Dense.Fsub (x, y)
+         | 2 -> return (Dense.Fcopy x)
+         | 3 -> return (Dense.Ffilter x)
+         | _ -> return (Dense.Fforeach x)
+       in
+       int_range 1 6 >>= fun n_stages ->
+       stage ~first:true >>= fun s0 ->
+       list_size (return (n_stages - 1)) (stage ~first:false) >>= fun rest ->
+       int_range 1 17 >>= fun len ->
+       let cell = oneofl (Array.to_list specials) in
+       list_size (return (3 * len)) cell >|= fun cells ->
+       (Array.of_list (s0 :: rest), len, Array.of_list cells)
+     in
+     Test.make ~name:"random chain bit-identical to stepwise" ~count:300
+       (make gen_chain)
+       (fun (stages, len, cells) ->
+         let bufs = Array.init 3 (fun i -> Array.sub cells (i * len) len) in
+         let ch = Dense.compile_chain ~tile:len stages in
+         let dst = Array.make len 0. in
+         Dense.run_chain ch ~bufs ~dst;
+         bits_equal dst (stepwise stages ~len ~bufs))) ]
 
 let suite =
   ( "kernels",
@@ -162,5 +313,10 @@ let suite =
       Alcotest.test_case "invert pivoting" `Quick test_invert_pivoting;
       Alcotest.test_case "invert tiny scale" `Quick test_invert_tiny_scale;
       Alcotest.test_case "invert ill-conditioned" `Quick test_invert_ill_conditioned;
-      Alcotest.test_case "rss" `Quick test_rss ]
+      Alcotest.test_case "rss" `Quick test_rss;
+      Alcotest.test_case "chain NaN/inf" `Quick test_chain_nan_inf;
+      Alcotest.test_case "chain zero-length tile" `Quick test_chain_zero_len;
+      Alcotest.test_case "chain ragged boundaries" `Quick test_chain_ragged;
+      Alcotest.test_case "chain aliased dst" `Quick test_chain_aliased_dst;
+      Alcotest.test_case "chain rss terminal" `Quick test_chain_rss_terminal ]
     @ List.map QCheck_alcotest.to_alcotest qcheck_kernels )
