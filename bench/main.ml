@@ -834,6 +834,8 @@ let faultfuzz_run ~seed ~min_crash_cases =
   Printf.printf
     "\n=== faultfuzz: %d programs, %d plans, seed %d in %.1f s ===\n"
     r.Fault_fuzz.programs r.Fault_fuzz.plans seed dt;
+  Printf.printf "  verified plans     %6d (static Plan_verify before crash-testing)\n"
+    r.Fault_fuzz.verified_plans;
   Printf.printf "  crash cases        %6d (crash points past the end: %d ran clean)\n"
     r.Fault_fuzz.crash_cases r.Fault_fuzz.complete_cases;
   Printf.printf "  recoveries         %6d (resumed output byte-identical)\n"
@@ -845,11 +847,13 @@ let faultfuzz_run ~seed ~min_crash_cases =
   Printf.printf "  retries            %6d\n" r.Fault_fuzz.retries;
   let oc = open_out faultfuzz_json_file in
   Printf.fprintf oc
-    "{\"seed\": %d, \"programs\": %d, \"plans\": %d, \"crash_cases\": %d, \
+    "{\"seed\": %d, \"programs\": %d, \"plans\": %d, \"verified_plans\": %d, \
+     \"crash_cases\": %d, \
      \"recoveries\": %d, \"complete_cases\": %d, \"transient_cases\": %d, \
      \"vector_cases\": %d, \"faults_injected\": %d, \"retries\": %d, \
      \"mismatches\": %d, \"seconds\": %.1f}\n"
-    seed r.Fault_fuzz.programs r.Fault_fuzz.plans r.Fault_fuzz.crash_cases
+    seed r.Fault_fuzz.programs r.Fault_fuzz.plans r.Fault_fuzz.verified_plans
+    r.Fault_fuzz.crash_cases
     r.Fault_fuzz.recoveries r.Fault_fuzz.complete_cases r.Fault_fuzz.transient_cases
     r.Fault_fuzz.vector_cases r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
     (List.length r.Fault_fuzz.mismatches) dt;
@@ -863,7 +867,9 @@ let faultfuzz_run ~seed ~min_crash_cases =
         (Printf.sprintf "faultfuzz: %d mismatches survived" (List.length ms)));
   if r.Fault_fuzz.recoveries <> r.Fault_fuzz.crash_cases then
     failwith "faultfuzz: some crash cases did not recover";
-  if r.Fault_fuzz.retries = 0 then failwith "faultfuzz: no retries exercised"
+  if r.Fault_fuzz.retries = 0 then failwith "faultfuzz: no retries exercised";
+  if r.Fault_fuzz.verified_plans <> r.Fault_fuzz.plans then
+    failwith "faultfuzz: some plans failed static verification"
 
 let faultfuzz () =
   faultfuzz_run
@@ -1051,6 +1057,62 @@ let cpubound () = cpubound_run ~variant:"full" ~grid:48 ~block:8 ~reps:3 ~gate:t
 let cpubound_smoke () =
   cpubound_run ~variant:"smoke" ~grid:6 ~block:4 ~reps:1 ~gate:false
 
+(* --- checkverify: static verification sweep over the paper pipelines ------- *)
+
+let checkverify_json_file = "BENCH_checkverify.json"
+
+(* Every enumerated plan of the paper's pipelines must verify fully clean —
+   zero diagnostics, warnings included — with the journal family enabled.
+   [linreg_max_size] caps the linear-regression subset size (its full
+   enumeration is the slow fig6 workload; 4 already yields hundreds of
+   plans). *)
+let checkverify_run ~variant ~linreg_max_size =
+  let module PV = Riot_plan.Plan_verify in
+  let t0 = Unix.gettimeofday () in
+  section
+    (Printf.sprintf "checkverify (%s): Plan_verify over all enumerated plans"
+       variant);
+  let cases =
+    [ ("add_mul/table2", Lazy.force opt_add_mul);
+      ("two_matmuls/table3a", Lazy.force opt_2mm_a);
+      ("two_matmuls/table3b", Lazy.force opt_2mm_b);
+      ( "linear_regression/table4",
+        Api.optimize ~max_size:linreg_max_size (Programs.linear_regression ())
+          ~config:Programs.table4 ) ]
+  in
+  let plans = ref 0 and dirty = ref 0 in
+  List.iter
+    (fun (name, opt) ->
+      let before = !dirty in
+      List.iter
+        (fun (p : Api.costed_plan) ->
+          incr plans;
+          let r = Engine.verify ~cap_bytes:p.Api.memory_bytes p.Api.cplan in
+          if not (PV.is_clean r) then begin
+            incr dirty;
+            Format.printf "  DIRTY %s plan %d: @[<v>%a@]@." name
+              p.Api.plan.Search.index PV.pp_report r
+          end)
+        opt.Api.plans;
+      Printf.printf "  %-26s %4d plans %s\n" name (List.length opt.Api.plans)
+        (if !dirty = before then "all clean" else "DIAGNOSTICS"))
+    cases;
+  let dt = Unix.gettimeofday () -. t0 in
+  Printf.printf "  total: %d plans verified, %d with diagnostics, %.1f s\n"
+    !plans !dirty dt;
+  let oc = open_out checkverify_json_file in
+  Printf.fprintf oc
+    "{\"variant\": %S, \"plans\": %d, \"dirty\": %d, \"seconds\": %.1f}\n"
+    variant !plans !dirty dt;
+  close_out oc;
+  Printf.printf "  (wrote %s)\n" checkverify_json_file;
+  if !dirty > 0 then
+    failwith
+      (Printf.sprintf "checkverify: %d plan(s) reported diagnostics" !dirty)
+
+let checkverify () = checkverify_run ~variant:"full" ~linreg_max_size:4
+let checkverify_smoke () = checkverify_run ~variant:"smoke" ~linreg_max_size:2
+
 (* --- Driver ------------------------------------------------------------------------ *)
 
 let experiments =
@@ -1078,6 +1140,8 @@ let experiments =
     ("faultfuzz-smoke", faultfuzz_smoke);
     ("cpubound", cpubound);
     ("cpubound-smoke", cpubound_smoke);
+    ("checkverify", checkverify);
+    ("checkverify-smoke", checkverify_smoke);
     ("micro", micro) ]
 
 let () =
@@ -1110,7 +1174,7 @@ let () =
       List.filter
         (fun n ->
           n <> "opttime-smoke" && n <> "polyfuzz-smoke" && n <> "faultfuzz-smoke"
-          && n <> "cpubound-smoke")
+          && n <> "cpubound-smoke" && n <> "checkverify-smoke")
         (List.map fst experiments)
     else args
   in

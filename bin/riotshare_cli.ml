@@ -7,6 +7,8 @@
                         [--jobs N]
      riotshare codegen  (--program NAME | --source FILE) [--original]
      riotshare blocksize --program NAME --mem-cap MB
+     riotshare check    (--program NAME | --source FILE) [--config NAME]
+                        [--all-plans] [--strict]
 
    Built-in programs: add_mul (Example 1 / Section 6.1), two_matmuls
    (Section 6.2), linear_regression (Section 6.3), pig_pipeline
@@ -179,6 +181,8 @@ let handle f =
   try `Ok (f ()) with
   | Failure msg | Parse.Error msg -> `Error (false, msg)
   | Engine.Error e -> `Error (false, Engine.error_to_string e)
+  | Riot_plan.Plan_verify.Rejected r ->
+      `Error (false, Format.asprintf "@[<v>%a@]" Riot_plan.Plan_verify.pp_report r)
   | Backend.Io_error { op; stream; off; len; transient } ->
       `Error
         ( false,
@@ -382,6 +386,51 @@ let run_cmd =
                    layer and reported; a $(b,backend.crash) failpoint aborts the \
                    run.  Defaults to $(b,RIOT_FAILPOINTS) when set.")))
 
+(* --- check --------------------------------------------------------------------- *)
+
+let check program source config params blocks max_size mem_cap jobs all_plans
+    strict =
+  handle (fun () ->
+      let module PV = Riot_plan.Plan_verify in
+      let prog, default = load_program ~program ~source in
+      let config = resolve_config ~default ~config ~params ~blocks in
+      let opt = Api.optimize ?max_size ?jobs prog ~config in
+      let mem_cap_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem_cap in
+      let targets =
+        if all_plans then opt.Api.plans else [ Api.best ?mem_cap_bytes opt ]
+      in
+      let bad = ref 0 in
+      List.iter
+        (fun (p : Api.costed_plan) ->
+          let r = Engine.verify ~cap_bytes:p.Api.memory_bytes p.Api.cplan in
+          Format.printf "plan %d: @[<v>%a@]@."
+            p.Api.plan.Riot_optimizer.Search.index PV.pp_report r;
+          if (not (PV.ok r)) || (strict && not (PV.is_clean r)) then incr bad)
+        targets;
+      if !bad > 0 then
+        failwith
+          (Printf.sprintf "%d of %d plan(s) failed static verification" !bad
+             (List.length targets)))
+
+let check_cmd =
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Statically verify plans: dataflow well-formedness, residency \
+          safety, journal safety and fusion legality.  Non-zero exit on any \
+          Error-severity diagnostic.")
+    Term.(
+      ret
+        (const check $ program_arg $ source_arg $ config_arg $ param_arg
+        $ block_arg $ max_size_arg $ mem_cap_arg $ jobs_arg
+        $ Arg.(
+            value & flag
+            & info [ "all-plans" ]
+                ~doc:"Verify every enumerated plan, not just the best one.")
+        $ Arg.(
+            value & flag
+            & info [ "strict" ] ~doc:"Treat warnings as failures too.")))
+
 (* --- codegen ------------------------------------------------------------------- *)
 
 let codegen program source config params blocks max_size original =
@@ -446,4 +495,6 @@ let () =
   let info = Cmd.info "riotshare" ~version:"1.0.0" ~doc:"Polyhedral I/O-sharing optimizer." in
   exit
     (Cmd.eval
-       (Cmd.group info [ analyze_cmd; optimize_cmd; run_cmd; codegen_cmd; blocksize_cmd ]))
+       (Cmd.group info
+          [ analyze_cmd; optimize_cmd; run_cmd; check_cmd; codegen_cmd;
+            blocksize_cmd ]))

@@ -4,7 +4,6 @@ module Aff = Riot_poly.Aff
 module Union = Riot_poly.Union
 module Q = Riot_base.Q
 module Mat = Riot_linalg.Mat
-module Vec = Riot_linalg.Vec
 
 let log = Logs.Src.create "riot.analysis.reduce" ~doc:"multiplicity reduction"
 

@@ -18,7 +18,38 @@
     Batches must not be nested: [f] must not itself call [map]/[filter_map]
     on any pool (the workers of the outer batch would starve the inner one).
     Exceptions raised by [f] are re-raised in the caller after the batch
-    drains; which item's exception wins is unspecified when several fail. *)
+    drains; which item's exception wins is unspecified when several fail.
+
+    {2 Domain-safety contract}
+
+    The pool itself synchronises only through its atomic claim counter, the
+    per-index result slots (each written by exactly one worker, read after
+    the batch's join barrier) and the batch handoff mutex; [f] must bring
+    its own discipline for anything else it touches.  The audit of what the
+    optimizer actually runs under a pool, kept current as call sites are
+    added:
+
+    - {e Shared read-only state} — [Cplan.cache] (instance enumeration and
+      extent pairs, eagerly prefilled before the batch starts) and the
+      program/analysis values are built before fan-out and only read by
+      workers.  Safe by immutability-in-practice; never write to a cache
+      from inside a batch.
+    - {e Domain-confined mutable state} — [Io_stats] counters and the
+      buffer pool belong to a backend, and every backend is confined to
+      the domain that runs the engine; worker domains cost plans
+      symbolically and perform no I/O, so those plain [mutable] fields need
+      no atomics.  Running two engines on one backend from two domains is
+      out of contract.
+    - {e Cross-domain counters} — anything genuinely incremented from
+      multiple domains must be an [Atomic.t] ([Riot_exec.Journal]'s nonce
+      counter is the one such case today).
+    - {e Global registries} — [Failpoint]'s table is mutated only from the
+      single engine domain (arming happens before a run); do not arm
+      failpoints from inside a pool batch.
+
+    The pool/parallel suites run under OCaml 5's ThreadSanitizer via the
+    [runtest-tsan] alias (see test/run_tsan.sh) to keep this contract
+    honest on instrumented switches. *)
 
 type t
 

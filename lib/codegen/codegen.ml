@@ -34,7 +34,6 @@ let tvar i = Printf.sprintf "t%d" i
 (* Per-statement generation state. *)
 type stmt_info = {
   s : Stmt.t;
-  rows : Aff.t array;  (* schedule rows, padded to the common depth *)
   textual : int;  (* the constant final row *)
   time_poly : Poly.t;  (* over tspace ++ qualified loop vars *)
   bindings : (string * bound) list;  (* loop var -> value in t and params *)
@@ -202,7 +201,7 @@ let build_info prog ~sched ~tspace ~levels (s : Stmt.t) =
           [ Ge e; Ge (Aff.neg e) ])
         (Poly.eqs (Poly.simplify s.Stmt.domain))
   in
-  { s; rows; textual = last.Aff.const; time_poly = tp; bindings; guards }
+  { s; textual = last.Aff.const; time_poly = tp; bindings; guards }
 
 (* Bounds of t_level for one statement: project its time polyhedron onto
    t1..t_level (and parameters) and read off the constraints on t_level. *)

@@ -35,29 +35,6 @@ let cost_plan ?cache machine program config (plan : Search.plan) =
     predicted_cpu_seconds = Cplan.cpu_seconds machine cplan;
     memory_bytes = cplan.Cplan.peak_memory }
 
-let optimize ?(machine = Machine.paper) ?max_size ?verify ?jobs program ~config =
-  Riot_base.Pool.with_pool ?jobs @@ fun pool ->
-  let ref_params = config.Config.params in
-  let analysis = Deps.extract program ~ref_params in
-  let plans, search_stats =
-    Search.enumerate ?verify ?max_size ~pool program ~analysis ~ref_params
-  in
-  (* The schedule-independent work — instance enumeration and extent pairs at
-     the concrete parameters — is materialised once and shared read-only by
-     every plan costing; the sharing list covers every realized set. *)
-  let cache = Cplan.cache ~coaccesses:analysis.Deps.sharing program ~config in
-  let plans = Riot_base.Pool.map pool (cost_plan ~cache machine program config) plans in
-  { program; config; machine; analysis; plans; search_stats }
-
-let recost ?jobs t ~config =
-  let cache = Cplan.cache ~coaccesses:t.analysis.Deps.sharing t.program ~config in
-  { t with
-    config;
-    plans =
-      Riot_base.Pool.parallel_map ?jobs
-        (fun p -> cost_plan ~cache t.machine t.program config p.plan)
-        t.plans }
-
 let best ?mem_cap_bytes t =
   let fits p =
     match mem_cap_bytes with None -> true | Some cap -> p.memory_bytes <= cap
@@ -70,7 +47,38 @@ let best ?mem_cap_bytes t =
              (b.predicted_io_seconds, b.memory_bytes))
   with
   | [] -> raise Not_found
-  | p :: _ -> p
+  | p :: _ ->
+      (* Reject a statically malformed winner here, at selection time, so no
+         caller ever hands the engine an illegal plan. *)
+      Engine.verify_exn ~cap_bytes:p.memory_bytes p.cplan;
+      p
+
+let optimize ?(machine = Machine.paper) ?max_size ?verify ?jobs program ~config =
+  Riot_base.Pool.with_pool ?jobs @@ fun pool ->
+  let ref_params = config.Config.params in
+  let analysis = Deps.extract program ~ref_params in
+  let plans, search_stats =
+    Search.enumerate ?verify ?max_size ~pool program ~analysis ~ref_params
+  in
+  (* The schedule-independent work — instance enumeration and extent pairs at
+     the concrete parameters — is materialised once and shared read-only by
+     every plan costing; the sharing list covers every realized set. *)
+  let cache = Cplan.cache ~coaccesses:analysis.Deps.sharing program ~config in
+  let plans = Riot_base.Pool.map pool (cost_plan ~cache machine program config) plans in
+  let t = { program; config; machine; analysis; plans; search_stats } in
+  (* Statically verify the presumptive winner (hard error on Error-severity
+     diagnostics): a planner bug dies here, not in the buffer pool. *)
+  (try ignore (best t : costed_plan) with Not_found -> ());
+  t
+
+let recost ?jobs t ~config =
+  let cache = Cplan.cache ~coaccesses:t.analysis.Deps.sharing t.program ~config in
+  { t with
+    config;
+    plans =
+      Riot_base.Pool.parallel_map ?jobs
+        (fun p -> cost_plan ~cache t.machine t.program config p.plan)
+        t.plans }
 
 let original t =
   List.find (fun p -> p.plan.Search.q = []) t.plans

@@ -50,7 +50,12 @@ val optimize :
     {!Riot_base.Pool.default_jobs}, i.e. [RIOT_JOBS] or the machine's domain
     count) sizes the domain pool that runs the schedule search and the plan
     costings; any [jobs] yields the same plans, costs and order as
-    [jobs = 1]. *)
+    [jobs = 1].
+
+    The presumptive winner ({!best} with no cap) is statically verified
+    before returning: a plan with [Error]-severity diagnostics raises
+    {!Riot_plan.Plan_verify.Rejected} — a planner bug dies at plan time, not
+    in the buffer pool. *)
 
 val recost : ?jobs:int -> t -> config:Riot_ir.Config.t -> t
 (** Re-evaluate every plan under different sizes without repeating the
@@ -62,8 +67,11 @@ val recost : ?jobs:int -> t -> config:Riot_ir.Config.t -> t
 
 val best : ?mem_cap_bytes:int -> t -> costed_plan
 (** The plan with the least predicted I/O among those whose peak memory fits
-    the cap (default: unlimited).  Ties break toward less memory.
-    @raise Not_found if no plan fits. *)
+    the cap (default: unlimited).  Ties break toward less memory.  The
+    selected plan is statically verified ({!Riot_exec.Engine.verify_exn}
+    with [cap_bytes] = its own peak) before being returned.
+    @raise Not_found if no plan fits.
+    @raise Riot_plan.Plan_verify.Rejected if the winner is malformed. *)
 
 val original : t -> costed_plan
 (** The unoptimized original-schedule plan (Plan 0). *)

@@ -14,6 +14,7 @@ module Rand_prog = Riot_ops.Rand_prog
 type result = {
   programs : int;
   plans : int;
+  verified_plans : int;
   crash_cases : int;
   recoveries : int;
   complete_cases : int;
@@ -79,6 +80,7 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
     ?(crash_points = 12) () =
   let programs = ref 0
   and plans_run = ref 0
+  and verified = ref 0
   and crash_cases = ref 0
   and recoveries = ref 0
   and complete_cases = ref 0
@@ -115,6 +117,23 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
               Cplan.build prog ~config ~sched:p.Search.sched ~realized:p.Search.q
             in
             let mem_cap = cplan.Cplan.peak_memory in
+            (* Every legal plan must verify statically before we crash-test
+               it: an Error diagnostic here is a planner or verifier bug
+               either way.  Opaque random programs (even seeds) legitimately
+               read never-written blocks (the zeros contract), so only the
+               DF003 warning is tolerated there; element-wise chains must be
+               fully clean. *)
+            let vr = Engine.verify ~cap_bytes:mem_cap cplan in
+            let tolerable (d : Riot_plan.Plan_verify.diag) =
+              case_seed mod 2 = 0
+              && d.Riot_plan.Plan_verify.severity = Riot_plan.Plan_verify.Warning
+              && d.Riot_plan.Plan_verify.code = "DF003"
+            in
+            if List.for_all tolerable vr.Riot_plan.Plan_verify.diags then
+              incr verified
+            else
+              fail "%s: static verification: %s" (where 0)
+                (Format.asprintf "@[<v>%a@]" Riot_plan.Plan_verify.pp_report vr);
             let run ?journal ?resume ?(mode = Engine.Vector) backend =
               let stores = Engine.stores_for backend ~format ~config in
               ignore
@@ -219,6 +238,7 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
   done;
   { programs = !programs;
     plans = !plans_run;
+    verified_plans = !verified;
     crash_cases = !crash_cases;
     recoveries = !recoveries;
     complete_cases = !complete_cases;

@@ -7,6 +7,9 @@
     put crash points inside fused steps of the tile-vectorized executor)
     and a handful of its distinct legal plans, the campaign:
 
+    - statically verifies the plan ({!Riot_exec.Engine.verify}) before any
+      execution — an [Error]-severity diagnostic is a planner or verifier
+      bug, either way a find, and lands in [mismatches];
     - runs the plan cleanly under the interpreting executor and snapshots
       every array stream (the reference) - every vectorized run below is
       thereby also a standing interpret-vs-vector differential check;
@@ -58,6 +61,12 @@ val select_plans :
 type result = {
   programs : int;
   plans : int;  (** (program, plan) pairs exercised *)
+  verified_plans : int;
+      (** plans that passed static verification ({!Riot_exec.Engine.verify})
+          before being crash-tested; a shortfall against [plans] shows up in
+          [mismatches].  Opaque-nest programs may warn [DF003] (reads of
+          never-written blocks are part of that distribution's zeros
+          contract); element-wise chains must verify fully clean. *)
   crash_cases : int;  (** (program, plan, crash-point) cases that crashed *)
   recoveries : int;  (** crash cases whose resumed output matched the reference *)
   complete_cases : int;  (** crash points past the schedule end: ran clean *)

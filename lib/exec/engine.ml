@@ -134,8 +134,27 @@ let run_opportunistic (plan : Cplan.t) ~backend ~format ~mem_cap =
     pool_peak_bytes = Buffer_pool.peak_bytes pool;
     per_array = per_array_delta ~before:streams0 backend stores }
 
+(* Static whole-plan verification with the journal family enabled: the
+   watermark data handed to [Plan_verify] is exactly what a journalled run
+   of this engine will act on. *)
+let verify ?cap_bytes (plan : Cplan.t) =
+  let rp = Journal.analyze plan in
+  let watermarks =
+    { Riot_plan.Plan_verify.wm_safe = rp.Journal.safe;
+      wm_restart = rp.Journal.restart;
+      wm_undo = rp.Journal.undo }
+  in
+  Riot_plan.Plan_verify.check ?cap_bytes ~watermarks plan
+
+let verify_exn ?cap_bytes plan =
+  let r = verify ?cap_bytes plan in
+  if not (Riot_plan.Plan_verify.ok r) then
+    raise (Riot_plan.Plan_verify.Rejected r)
+
 let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
-    ?(mode = Vector) (plan : Cplan.t) ~backend ~format ~mem_cap =
+    ?(mode = Vector) ?(verify = false) (plan : Cplan.t) ~backend ~format
+    ~mem_cap =
+  if verify then verify_exn ~cap_bytes:mem_cap plan;
   (* Phantom (compute-less) runs have no buffers for the compiled closures to
      chew on; they always take the interpreted path. *)
   let mode = if compute then mode else Interpret in

@@ -59,6 +59,18 @@ type result = {
           mapped back to array names through the stores' stream names *)
 }
 
+val verify :
+  ?cap_bytes:int -> Riot_plan.Cplan.t -> Riot_plan.Plan_verify.report
+(** Statically verify the plan with every invariant family enabled,
+    including journal safety: the watermark data handed to
+    {!Riot_plan.Plan_verify.check} is exactly what a journalled run of this
+    engine will act on ({!Journal.analyze}).  [cap_bytes] defaults to the
+    plan's own [peak_memory]. *)
+
+val verify_exn : ?cap_bytes:int -> Riot_plan.Cplan.t -> unit
+(** Like {!verify} but raises {!Riot_plan.Plan_verify.Rejected} on any
+    [Error]-severity diagnostic. *)
+
 val run :
   ?compute:bool ->
   ?stores:(string * Riot_storage.Block_store.t) list ->
@@ -66,6 +78,7 @@ val run :
   ?journal:bool ->
   ?resume:bool ->
   ?mode:mode ->
+  ?verify:bool ->
   Riot_plan.Cplan.t ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
@@ -121,7 +134,11 @@ val run :
     range) instead of one per safe step.  Resume composes across modes: a
     journal written under either executor restarts correctly under either,
     because watermark records are plan-based and every vectorized watermark
-    is also an interpreter watermark. *)
+    is also an interpreter watermark.
+
+    [verify] (default false) runs {!verify_exn} with [cap_bytes = mem_cap]
+    before touching storage, rejecting a malformed plan statically instead
+    of corrupting state at run time. *)
 
 val run_opportunistic :
   Riot_plan.Cplan.t ->

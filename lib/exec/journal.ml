@@ -198,13 +198,16 @@ type recovered = {
 
 type writer = { backend : Backend.t; nonce : int64; mutable seq : int; mutable off : int }
 
-let nonce_counter = ref 0
+(* Atomic: journal writers can be created from any domain (the engine has no
+   domain affinity even though runs are single-domain today), and a torn
+   counter increment could hand two incarnations the same nonce — the exact
+   collision the nonce exists to prevent. *)
+let nonce_counter = Atomic.make 0
 
 let fresh_nonce () =
-  incr nonce_counter;
   mix2
     (Int64.bits_of_float (Unix.gettimeofday ()))
-    (Int64.of_int !nonce_counter)
+    (Int64.of_int (Atomic.fetch_and_add nonce_counter 1))
 
 let encode_header ~fingerprint ~nonce =
   let b = Bytes.create header_len in
@@ -353,7 +356,7 @@ let start backend ~fingerprint =
 let continuation backend (r : recovered) =
   { backend; nonce = r.nonce; seq = r.records; off = r.bytes }
 
-let append_record w ~kind ~step ~payload =
+let append_record (w : writer) ~kind ~step ~payload =
   let data = encode_record ~nonce:w.nonce ~seq:w.seq ~kind ~step ~payload in
   w.backend.Backend.pwrite ~name:stream ~off:w.off ~data;
   w.seq <- w.seq + 1;

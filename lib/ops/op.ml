@@ -1,6 +1,5 @@
 module B = Riot_ir.Build
 module Array_info = Riot_ir.Array_info
-module Access = Riot_ir.Access
 module Kernel = Riot_ir.Kernel
 
 type dim = P of string | N of int

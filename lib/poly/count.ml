@@ -1,5 +1,3 @@
-module Q = Riot_base.Q
-
 let rec count p ~over =
   let p = Poly.simplify p in
   (* The rational check matters beyond the syntactic one: a pair like

@@ -10,7 +10,16 @@
 
     [virtual_time] is advanced by the simulated backend according to its
     bandwidth model; the file backend leaves it at zero and wall-clock time
-    is measured by the caller instead. *)
+    is measured by the caller instead.
+
+    Domain safety: these are plain [mutable] fields and the stream table is
+    an unsynchronised [Hashtbl] — deliberately.  A stats value belongs to a
+    backend, and a backend is confined to the one domain that runs the
+    engine; the optimizer's worker domains ([Riot_base.Pool]) cost plans
+    symbolically and never touch a backend, so no counter is ever
+    incremented from two domains.  Sharing one backend between concurrently
+    running engines on different domains is out of contract (see the
+    domain-safety section of pool.mli). *)
 
 type stream = {
   mutable s_reads : int;

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# Run the given test binary (plus arguments) under OCaml's ThreadSanitizer,
+# or skip with a notice when the current switch is not TSan-instrumented.
+#
+# TSan support is baked into the compiler switch (OCaml >= 5.1 configured
+# with --enable-tsan); there is no flag that turns it on after the fact.
+# `ocamlopt -config` reports `tsan: true` on such a switch, in which case
+# every native executable — including the one we are handed — is already
+# instrumented and simply running it performs the race detection.
+set -euo pipefail
+
+if ocamlfind ocamlopt -config 2>/dev/null | grep -q '^tsan: *true' \
+  || ocamlopt -config 2>/dev/null | grep -q '^tsan: *true'; then
+  echo "run_tsan: TSan-instrumented switch detected; running $*"
+  exec "$@"
+else
+  cat >&2 <<'EOF'
+run_tsan: SKIPPED — this OCaml switch is not ThreadSanitizer-instrumented.
+
+To run the pool/parallel suites under TSan, build them on an OCaml >= 5.1
+switch configured with --enable-tsan, e.g.:
+
+    opam switch create 5.2.0+tsan ocaml-variants.5.2.0+options ocaml-option-tsan
+    dune build --profile tsan @runtest-tsan
+
+(`ocamlopt -config | grep tsan` must report `tsan: true`.)
+EOF
+  exit 0
+fi

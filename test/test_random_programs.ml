@@ -129,6 +129,55 @@ let prop_engine_matches_plan =
               && r.Engine.pool_peak_bytes <= cplan.Cplan.peak_memory)
             plans))
 
+(* Static verification over fuzzer-generated legal plans: every plan the
+   search accepts must be free of Error-severity diagnostics.  Opaque-nest
+   programs legitimately read never-written blocks (served as zeroes), so
+   the DF003 warning alone is tolerated there; element-wise chains must be
+   fully clean.  The counter feeds the coverage floor asserted at the end
+   of the suite. *)
+let statically_verified_plans = ref 0
+
+let statically_clean ~ew prog =
+  let config = config_for prog in
+  let analysis = Deps.extract prog ~ref_params in
+  let plans, _ = Search.enumerate ~max_size:2 prog ~analysis ~ref_params in
+  List.for_all
+    (fun (p : Search.plan) ->
+      let cplan =
+        Cplan.build prog ~config ~sched:p.Search.sched ~realized:p.Search.q
+      in
+      let r = Engine.verify cplan in
+      incr statically_verified_plans;
+      if ew then Riot_plan.Plan_verify.is_clean r
+      else
+        List.for_all
+          (fun (d : Riot_plan.Plan_verify.diag) ->
+            d.Riot_plan.Plan_verify.severity = Riot_plan.Plan_verify.Warning
+            && d.Riot_plan.Plan_verify.code = "DF003")
+          r.Riot_plan.Plan_verify.diags)
+    plans
+
+let prop_plans_statically_verify =
+  QCheck.Test.make ~name:"random programs: plans are statically diagnostic-free"
+    ~count:30 seed_gen (fun seed ->
+      with_program seed (statically_clean ~ew:false))
+
+let prop_ew_plans_statically_verify =
+  QCheck.Test.make
+    ~name:"random ew programs: plans are statically spotless" ~count:30
+    seed_gen (fun seed ->
+      Rand_prog.with_ew_program seed (statically_clean ~ew:true))
+
+(* Registered after the two properties above (Alcotest runs a suite in
+   order), so by the time it runs the counter reflects them; [`Slow] like
+   the properties themselves, so a `-q` run skips both consistently. *)
+let static_coverage_floor =
+  Alcotest.test_case "static verification covered >= 500 plans" `Slow
+    (fun () ->
+      if !statically_verified_plans < 500 then
+        Alcotest.failf "only %d plans statically verified"
+          !statically_verified_plans)
+
 let tmpdir () = Filename.temp_file "riot" "" |> fun f -> Sys.remove f; f
 
 (* Plan-output equivalence: every legal plan of a program - whatever it
@@ -186,4 +235,7 @@ let suite =
         prop_sharing_pairs_share_blocks;
         prop_enumerated_plans_verify;
         prop_engine_matches_plan;
-        prop_plan_outputs_equal ] )
+        prop_plans_statically_verify;
+        prop_ew_plans_statically_verify;
+        prop_plan_outputs_equal ]
+    @ [ static_coverage_floor ] )
