@@ -3,12 +3,13 @@
      riotshare analyze  (--program NAME | --source FILE)
      riotshare optimize (--program NAME | --source FILE) [--config NAME]
                         [--mem-cap MB] [--max-size N] [--jobs N]
+                        [--prune] [--budget S] [--stats]
      riotshare run      --program NAME [--config NAME] [--scale N] [--format daf|lab]
-                        [--jobs N]
+                        [--jobs N] [--budget S]
      riotshare codegen  (--program NAME | --source FILE) [--original]
      riotshare blocksize --program NAME --mem-cap MB
      riotshare check    (--program NAME | --source FILE) [--config NAME]
-                        [--all-plans] [--strict]
+                        [--all-plans] [--exhaustive] [--budget S] [--strict]
 
    Built-in programs: add_mul (Example 1 / Section 6.1), two_matmuls
    (Section 6.2), linear_regression (Section 6.3), pig_pipeline
@@ -177,6 +178,46 @@ let jobs_arg =
            $(b,RIOT_JOBS) or the machine's core count). Any value produces \
            the same plans and costs as --jobs 1.")
 
+let budget_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "budget" ]
+        ~doc:
+          "Optimization time budget in seconds (anytime search): implies the \
+           branch-and-bound searcher and returns the best verified plan \
+           found within the budget.  Plan 0 is always costed, so any budget \
+           yields a valid plan; larger budgets never yield worse plans.")
+
+let prune_arg =
+  Arg.(
+    value & flag
+    & info [ "prune" ]
+        ~doc:
+          "Use the branch-and-bound searcher with I/O lower-bound pruning \
+           instead of exhaustive enumeration.  The best plan is bit-identical \
+           to the exhaustive one; dominated candidates are skipped.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print optimizer profiling counters (candidates tried / pruned by \
+           bound / pruned by Apriori / rejected by verification, time per \
+           phase, per-domain utilization).  Implies $(b,--prune).")
+
+let with_opt_stats stats f =
+  let opt_stats =
+    if stats then Some (Riot_optimizer.Opt_stats.create ()) else None
+  in
+  let r = f opt_stats in
+  Option.iter
+    (fun s ->
+      Format.printf "@.optimizer stats:@.%a@." Riot_optimizer.Opt_stats.pp s)
+    opt_stats;
+  r
+
 let handle f =
   try `Ok (f ()) with
   | Failure msg | Parse.Error msg -> `Error (false, msg)
@@ -221,11 +262,18 @@ let analyze_cmd =
 
 (* --- optimize ------------------------------------------------------------------ *)
 
-let optimize program source config params blocks max_size mem_cap jobs explain =
+let optimize program source config params blocks max_size mem_cap jobs budget
+    prune stats explain =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
-      let opt = Api.optimize ?max_size ?jobs prog ~config in
+      let opt =
+        with_opt_stats stats (fun opt_stats ->
+            Api.optimize ?max_size ?jobs ?budget ~prune:(prune || stats)
+              ?opt_stats prog ~config)
+      in
+      if not opt.Api.search_stats.Riot_optimizer.Search.complete then
+        Format.printf "(budget expired: best plan found so far)@.";
       Format.printf "%a@.@." Api.pp_summary opt;
       let mem_cap_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem_cap in
       let plan0 = Api.original opt in
@@ -254,18 +302,20 @@ let optimize_cmd =
     Term.(
       ret
         (const optimize $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
-        $ max_size_arg $ mem_cap_arg $ jobs_arg
+        $ max_size_arg $ mem_cap_arg $ jobs_arg $ budget_arg $ prune_arg $ stats_arg
         $ Arg.(value & flag & info [ "explain" ] ~doc:"Per-array I/O breakdown.")))
 
 (* --- run ----------------------------------------------------------------------- *)
 
-let run program source config params blocks max_size jobs scale format mode trace
-    stats_per_array check_cost failpoints =
+let run program source config params blocks max_size jobs budget scale format mode
+    trace stats_per_array check_cost failpoints =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
       let config = if scale > 1 then Programs.scale_down ~factor:scale config else config in
-      let opt = Api.optimize ?max_size ?jobs prog ~config in
+      let opt = Api.optimize ?max_size ?jobs ?budget prog ~config in
+      if not opt.Api.search_stats.Riot_optimizer.Search.complete then
+        Format.printf "(budget expired: running best plan found so far)@.";
       let best = Api.best opt in
       let format =
         match format with
@@ -346,7 +396,7 @@ let run_cmd =
     Term.(
       ret
         (const run $ program_arg $ source_arg $ config_arg $ param_arg $ block_arg
-        $ max_size_arg $ jobs_arg
+        $ max_size_arg $ jobs_arg $ budget_arg
         $ Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Divide block dims by N.")
         $ Arg.(value & opt string "daf" & info [ "format" ] ~doc:"daf or lab.")
         $ Arg.(
@@ -388,13 +438,20 @@ let run_cmd =
 
 (* --- check --------------------------------------------------------------------- *)
 
-let check program source config params blocks max_size mem_cap jobs all_plans
-    strict =
+let check program source config params blocks max_size mem_cap jobs budget
+    all_plans exhaustive strict =
   handle (fun () ->
       let module PV = Riot_plan.Plan_verify in
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
-      let opt = Api.optimize ?max_size ?jobs prog ~config in
+      (* Pruned search by default: the surviving plans (always including the
+         best) are what execution would ever touch.  --exhaustive restores
+         the full enumeration for audit-style sweeps. *)
+      let opt =
+        Api.optimize ?max_size ?jobs ?budget ~prune:(not exhaustive) prog ~config
+      in
+      if not opt.Api.search_stats.Riot_optimizer.Search.complete then
+        Format.printf "(budget expired: checking plans found so far)@.";
       let mem_cap_bytes = Option.map (fun mb -> mb * 1024 * 1024) mem_cap in
       let targets =
         if all_plans then opt.Api.plans else [ Api.best ?mem_cap_bytes opt ]
@@ -422,11 +479,19 @@ let check_cmd =
     Term.(
       ret
         (const check $ program_arg $ source_arg $ config_arg $ param_arg
-        $ block_arg $ max_size_arg $ mem_cap_arg $ jobs_arg
+        $ block_arg $ max_size_arg $ mem_cap_arg $ jobs_arg $ budget_arg
         $ Arg.(
             value & flag
             & info [ "all-plans" ]
-                ~doc:"Verify every enumerated plan, not just the best one.")
+                ~doc:
+                  "Verify every surviving plan, not just the best one.  Uses \
+                   the pruned enumerator unless $(b,--exhaustive) is given.")
+        $ Arg.(
+            value & flag
+            & info [ "exhaustive" ]
+                ~doc:
+                  "Disable branch-and-bound pruning and verify the full \
+                   exhaustive plan enumeration.")
         $ Arg.(
             value & flag
             & info [ "strict" ] ~doc:"Treat warnings as failures too.")))
@@ -492,6 +557,12 @@ let blocksize_cmd =
         $ max_size_arg $ mem_cap_arg $ jobs_arg))
 
 let () =
+  (* The search allocates heavily (rational arithmetic, Farkas tableaux);
+     with several domains every minor collection is a stop-the-world
+     barrier, so the default 256k-word minor heap makes --jobs > 1 pay a
+     barrier every few ms.  1M words cuts the barrier rate ~4x and measures
+     fastest in the opttime sweep (bigger heaps start thrashing cache). *)
+  Gc.set { (Gc.get ()) with minor_heap_size = 1024 * 1024 };
   let info = Cmd.info "riotshare" ~version:"1.0.0" ~doc:"Polyhedral I/O-sharing optimizer." in
   exit
     (Cmd.eval

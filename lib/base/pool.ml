@@ -76,20 +76,71 @@ let with_pool ?jobs f =
   let t = create ?jobs () in
   Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)
 
-(* Run [body i] for every [i < n] across the pool; [body] must not raise. *)
+(* Run [body i] for every [i < n] across the pool; [body] must not raise.
+
+   The index space is split into one contiguous chunk per pool member, so a
+   whole level of work is dispatched once per domain instead of contending on
+   a single shared counter item by item.  Each member drains its own chunk
+   from the front ([pos], an atomic only it advances on the fast path) and,
+   once empty, turns thief: it steals single items from the BACK of the
+   fullest surviving chunk ([lim] counts down), deque-style, so ragged chunks
+   — a few pathologically slow candidates — cannot idle the other domains.
+   The owner/thief race on a chunk's last items is resolved by a per-item
+   claim flag (one CAS per item, uncontended except at chunk boundaries):
+   whoever wins the CAS runs the item, so every item runs exactly once.  A
+   final sweep over the claim flags before a member retires closes the
+   owner-stopped/thief-skipped window where pos and lim cross concurrently;
+   it almost always finds nothing. *)
 let run_batch t ~n body =
-  let next = Atomic.make 0 in
-  let runner () =
+  let seq () = for i = 0 to n - 1 do body i done in
+  let chunks = min t.size n in
+  let chunk_lo = Array.init chunks (fun c -> c * n / chunks) in
+  let chunk_hi = Array.init chunks (fun c -> (c + 1) * n / chunks) in
+  let pos = Array.init chunks (fun c -> Atomic.make chunk_lo.(c)) in
+  let lim = Array.init chunks (fun c -> Atomic.make chunk_hi.(c)) in
+  let claimed = Array.init n (fun _ -> Atomic.make false) in
+  let run i = if Atomic.compare_and_set claimed.(i) false true then body i in
+  let drain c =
     let rec go () =
-      let i = Atomic.fetch_and_add next 1 in
-      if i < n then begin
-        body i;
+      let i = Atomic.fetch_and_add pos.(c) 1 in
+      (* [i <= lim] deliberately overlaps the thief by one item at the
+         boundary; the claim flag arbitrates. *)
+      if i < chunk_hi.(c) && i <= Atomic.get lim.(c) then begin
+        run i;
         go ()
       end
     in
     go ()
   in
-  if t.size = 1 || n <= 1 then runner ()
+  let steal_from v =
+    let rec go () =
+      let i = Atomic.fetch_and_add lim.(v) (-1) - 1 in
+      if i >= chunk_lo.(v) && i >= Atomic.get pos.(v) - 1 then begin
+        run i;
+        go ()
+      end
+    in
+    go ()
+  in
+  let widx = Atomic.make 0 in
+  let runner () =
+    (* Per-batch worker numbering: the calling domain and the spawned domains
+       each grab a distinct starting chunk; with chunks <= t.size every chunk
+       gets exactly one owner (extra members, if n < size, start as thieves of
+       chunk 0 — the claim flags make any assignment correct). *)
+    let start = Atomic.fetch_and_add widx 1 mod chunks in
+    drain start;
+    for k = 1 to chunks - 1 do
+      let v = (start + k) mod chunks in
+      drain v;
+      steal_from v
+    done;
+    (* Completeness sweep: claim flags are the ground truth. *)
+    for i = 0 to n - 1 do
+      if not (Atomic.get claimed.(i)) then run i
+    done
+  in
+  if t.size = 1 || n <= 1 then seq ()
   else begin
     Mutex.lock t.m;
     if t.stop then begin

@@ -5,9 +5,15 @@
     A pool of [jobs] workers runs batches with [jobs - 1] spawned domains plus
     the calling domain; the spawned domains persist across batches, so one
     pool can serve every Apriori level of a search and the subsequent plan
-    costings.  Items are claimed one at a time from a shared atomic counter
-    (dynamic load balancing) and results land in a per-index slot, so the
-    output order always equals the input order regardless of interleaving.
+    costings.  Each batch's index space is split into one contiguous chunk
+    per pool member, dispatched once per domain; owners drain their chunk
+    from the front while members that finish early steal single items from
+    the back of surviving chunks (a work-stealing deque over chunks), so
+    ragged batches — a few pathologically slow items — cannot idle the other
+    domains.  Per-item claim flags (one CAS each) guarantee exactly-once
+    execution at owner/thief boundaries, and results land in a per-index
+    slot, so the output order always equals the input order regardless of
+    interleaving.
 
     Determinism contract: for a pure [f], [map pool f xs] returns exactly
     [List.map f xs] — same elements, same order — for every pool size.  With
@@ -22,7 +28,8 @@
 
     {2 Domain-safety contract}
 
-    The pool itself synchronises only through its atomic claim counter, the
+    The pool itself synchronises only through its per-chunk atomic cursors
+    and per-item claim flags, the
     per-index result slots (each written by exactly one worker, read after
     the batch's join barrier) and the batch handoff mutex; [f] must bring
     its own discipline for anything else it touches.  The audit of what the

@@ -4,6 +4,7 @@ module Deps = Riot_analysis.Deps
 module Coaccess = Riot_analysis.Coaccess
 module Search = Riot_optimizer.Search
 module Cplan = Riot_plan.Cplan
+module Cost_bound = Riot_plan.Cost_bound
 module Machine = Riot_plan.Machine
 module Backend = Riot_storage.Backend
 module Engine = Riot_exec.Engine
@@ -53,18 +54,52 @@ let best ?mem_cap_bytes t =
       Engine.verify_exn ~cap_bytes:p.memory_bytes p.cplan;
       p
 
-let optimize ?(machine = Machine.paper) ?max_size ?verify ?jobs program ~config =
+let optimize ?(machine = Machine.paper) ?max_size ?verify ?jobs ?(prune = false)
+    ?budget ?opt_stats program ~config =
   Riot_base.Pool.with_pool ?jobs @@ fun pool ->
   let ref_params = config.Config.params in
   let analysis = Deps.extract program ~ref_params in
-  let plans, search_stats =
-    Search.enumerate ?verify ?max_size ~pool program ~analysis ~ref_params
-  in
   (* The schedule-independent work — instance enumeration and extent pairs at
      the concrete parameters — is materialised once and shared read-only by
      every plan costing; the sharing list covers every realized set. *)
   let cache = Cplan.cache ~coaccesses:analysis.Deps.sharing program ~config in
-  let plans = Riot_base.Pool.map pool (cost_plan ~cache machine program config) plans in
+  (* A budget only makes sense on the anytime searcher. *)
+  let prune = prune || budget <> None in
+  let plans, search_stats =
+    if not prune then begin
+      let plans, search_stats =
+        Search.enumerate ?verify ?max_size ~pool program ~analysis ~ref_params
+      in
+      ( Riot_base.Pool.map pool (cost_plan ~cache machine program config) plans,
+        search_stats )
+    end
+    else begin
+      let bound_t =
+        Cost_bound.make ~cache machine program ~config
+          ~coaccesses:analysis.Deps.sharing
+      in
+      let cost ~q ~sched =
+        let cplan = Cplan.build ~cache program ~config ~sched ~realized:q in
+        let io = Cplan.predicted_io_seconds machine cplan in
+        ((cplan, io, Cplan.cpu_seconds machine cplan, cplan.Cplan.peak_memory), io)
+      in
+      let pairs, search_stats =
+        Search.branch_and_bound ?verify ?max_size ~pool ?budget ?opt_stats
+          ~bound:(Cost_bound.eval bound_t)
+          ~saving:(Cost_bound.saving bound_t)
+          ~cost program ~analysis ~ref_params
+      in
+      ( List.map
+          (fun (plan, (cplan, io, cpu, mem)) ->
+            { plan;
+              cplan;
+              predicted_io_seconds = io;
+              predicted_cpu_seconds = cpu;
+              memory_bytes = mem })
+          pairs,
+        search_stats )
+    end
+  in
   let t = { program; config; machine; analysis; plans; search_stats } in
   (* Statically verify the presumptive winner (hard error on Error-severity
      diagnostics): a planner bug dies here, not in the buffer pool. *)

@@ -40,6 +40,9 @@ val optimize :
   ?max_size:int ->
   ?verify:bool ->
   ?jobs:int ->
+  ?prune:bool ->
+  ?budget:float ->
+  ?opt_stats:Riot_optimizer.Opt_stats.t ->
   Riot_ir.Program.t ->
   config:Riot_ir.Config.t ->
   t
@@ -51,6 +54,20 @@ val optimize :
     count) sizes the domain pool that runs the schedule search and the plan
     costings; any [jobs] yields the same plans, costs and order as
     [jobs = 1].
+
+    [prune] (default false) switches to the branch-and-bound searcher
+    ({!Riot_optimizer.Search.branch_and_bound} under
+    {!Riot_plan.Cost_bound}): [plans] then contains only the candidates
+    whose I/O lower bound could beat the incumbent — always including the
+    exhaustive search's best plan, bit-identically — so {!best} is
+    unchanged while {!distinct_cost_points} and {!recost} see the surviving
+    subset only (recosting a pruned result at very different sizes is an
+    approximation; re-run [optimize] instead).  [budget] (seconds) implies
+    [prune] and makes the search anytime: the best verified plan found
+    within the budget is returned ([search_stats.complete] = false when the
+    deadline struck), and Plan 0 is always costed first so a plan exists at
+    any budget.  [opt_stats] accumulates profiling counters for the pruned
+    path.
 
     The presumptive winner ({!best} with no cap) is statically verified
     before returning: a plan with [Error]-severity diagnostics raises

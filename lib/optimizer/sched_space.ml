@@ -10,6 +10,9 @@ type t = {
   prog : Program.t;
   space : Space.t;
   cache : (string * string, Poly.t) Hashtbl.t;
+  mutable frozen : bool;
+      (* once set, [cached] stops inserting on miss so the table can be
+         shared read-only across domains *)
 }
 
 let coeff_name_raw ~stmt ~dim = stmt ^ "|" ^ dim
@@ -25,7 +28,7 @@ let make (prog : Program.t) =
         @ [ const_name_raw ~stmt:s.Stmt.name ])
       prog.Program.stmts
   in
-  { prog; space = Space.of_names names; cache = Hashtbl.create 64 }
+  { prog; space = Space.of_names names; cache = Hashtbl.create 64; frozen = false }
 
 let space t = t.space
 let coeff_name _t ~stmt ~dim = coeff_name_raw ~stmt ~dim
@@ -89,7 +92,7 @@ let cached t key (ca : Coaccess.t) f =
   | Some p -> p
   | None ->
       let p = f () in
-      Hashtbl.add t.cache k p;
+      if not t.frozen then Hashtbl.add t.cache k p;
       p
 
 let weak t ca =
@@ -108,3 +111,23 @@ let equal_const t ~delta ca =
       Farkas.zero_on_union ~unknowns:t.space ~over:ca.Coaccess.extent ~coeff ~const)
 
 let equal_zero t ca = equal_const t ~delta:0 ca
+
+(* Compute every Farkas translation [Find_schedule.find] can possibly ask
+   for — weak and strong forms of each dependence, equality and +-1 shift
+   forms of each sharing opportunity — then freeze the table.  A frozen
+   space is safe to share read-only across domains: lookups hit for the
+   whole search and a (theoretically impossible) miss recomputes locally
+   without mutating the table. *)
+let prefill t ~deps ~sharing =
+  List.iter
+    (fun ca ->
+      ignore (weak t ca);
+      ignore (strong t ca))
+    deps;
+  List.iter
+    (fun ca ->
+      ignore (equal_zero t ca);
+      ignore (equal_const t ~delta:1 ca);
+      ignore (equal_const t ~delta:(-1) ca))
+    sharing;
+  t.frozen <- true

@@ -41,3 +41,10 @@ val equal_zero : t -> Riot_analysis.Coaccess.t -> Riot_poly.Poly.t
 
 val equal_const : t -> delta:int -> Riot_analysis.Coaccess.t -> Riot_poly.Poly.t
 (** [theta' x' - theta x = delta] on the whole extent (cached). *)
+
+val prefill : t -> deps:Riot_analysis.Coaccess.t list -> sharing:Riot_analysis.Coaccess.t list -> unit
+(** Populate the Farkas cache with every form the schedule search uses —
+    {!weak}/{!strong} for each dependence, {!equal_zero} and
+    [equal_const ~delta:(+-1)] for each sharing opportunity — then freeze
+    it.  After [prefill] the value is safe to share read-only across
+    domains: a miss (none is expected) recomputes without inserting. *)

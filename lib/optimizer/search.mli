@@ -7,10 +7,10 @@
     schedule — the paper's Plan 0).
 
     The candidate attempts within one Apriori level are independent and run
-    across a {!Riot_base.Pool} of domains; every domain gets its own
-    {!Sched_space.t} Farkas cache and its own concrete {!Verify.checker}
-    (both hold unsynchronised hash tables, and caching only accelerates the
-    attempt, it never changes its outcome).  The parallel search is
+    across a {!Riot_base.Pool} of domains; all domains share one frozen
+    {!Sched_space.t} Farkas cache and one frozen concrete {!Verify.checker},
+    both fully prefilled before any fan-out (a frozen cache is never written,
+    so no locking is needed on the hot path).  The parallel search is
     deterministic: for any [jobs], the returned plan list — sets, schedules
     and index order — is identical to the sequential one; only
     [stats.elapsed] may differ. *)
@@ -22,9 +22,15 @@ type plan = {
 }
 
 type stats = {
-  candidates_tried : int;  (** FindSchedule invocations *)
+  candidates_tried : int;  (** candidate sets attempted ({!Find_schedule.find} invocations) *)
   feasible : int;
   pruned : int;  (** subsets never attempted thanks to the Apriori property *)
+  bound_pruned : int;
+      (** candidates (and costings) cut by the I/O lower bound; 0 for
+          {!enumerate} *)
+  verify_rejected : int;
+      (** attempted candidates with no schedule / failed concrete check *)
+  complete : bool;  (** false iff a [?budget] stopped the search early *)
   elapsed : float;  (** seconds *)
 }
 
@@ -42,3 +48,57 @@ val enumerate :
     that fail; [max_size] caps the opportunity-subset size.  [pool] reuses an
     existing domain pool; otherwise a fresh pool of [jobs] domains (default
     {!Riot_base.Pool.default_jobs}) serves this call. *)
+
+(** {2 Branch and bound}
+
+    A pruned, batched, anytime alternative to {!enumerate} that runs over
+    the {e same Apriori subset lattice}, level by level.  A size-k candidate
+    [S] is generated only when every immediate subset is feasible {e and}
+    survived pruning — a pruned set poisons its whole upward cone — and is
+    attempted only if its {e cone bound} — [bound S] minus the top
+    [max_size - |S|] standalone savings of opportunities outside [S] — does
+    not exceed the committed incumbent.  Because [bound] is monotone
+    non-increasing and subadditive in the realized set, the cone bound
+    lower-bounds every superset of [S], so a cone-pruned candidate may be
+    dropped together with all its supersets, exactly as an infeasible set
+    would be.  Feasible candidates are costed (skipped, soundly, when even
+    [bound S] exceeds the incumbent).
+
+    Each level runs in fixed-size batches independent of the pool size; the
+    incumbent is committed only between batches, so pruning decisions never
+    read racy values: results and every stats counter are deterministic and
+    identical at every [jobs].
+
+    Soundness: [bound] must satisfy [bound s <= predicted io of every legal
+    plan realizing s], be monotone non-increasing under set extension, and
+    [saving i >= bound s - bound (s + {i})] for every [s] (subadditivity;
+    {!Riot_plan.Cost_bound} provides all three).  Every candidate this
+    search attempts, the exhaustive search attempts too, and every skipped
+    set is strictly worse than the incumbent at prune time — so the
+    returned list is a sublist of {!enumerate}'s, in the same canonical
+    (size, lex) order, and always contains the exhaustive best plan
+    bit-identically, including tie-breaks.
+
+    [budget] (seconds) makes the search anytime: Plan 0 is costed before the
+    deadline is ever consulted, in-flight work past the deadline is skipped,
+    and the best verified plan so far is returned with [complete = false].
+    Costs never increase as the budget grows. *)
+
+val branch_and_bound :
+  ?verify:bool ->
+  ?max_size:int ->
+  ?pool:Riot_base.Pool.t ->
+  ?jobs:int ->
+  ?budget:float ->
+  ?opt_stats:Opt_stats.t ->
+  bound:(int list -> float) ->
+  saving:(int -> float) ->
+  cost:(q:Riot_analysis.Coaccess.t list -> sched:Riot_ir.Sched.program_sched -> 'c * float) ->
+  Riot_ir.Program.t ->
+  analysis:Riot_analysis.Deps.result ->
+  ref_params:(string * int) list ->
+  (plan * 'c) list * stats
+(** [bound]/[saving] take indices into [analysis.sharing] (sorted
+    ascending); [cost] builds the caller's costed representation and returns
+    it with the plan's predicted I/O seconds (the incumbent metric).  [cost]
+    runs inside pool batches and must be domain-safe. *)

@@ -97,9 +97,19 @@ type checker = {
   ground_pairs :
     ((string * (string * int) list) * (string * (string * int) list)) list;
   extent_pairs : (string, ((string * int) list * (string * int) list) list) Hashtbl.t;
+  frozen : bool;
+      (* set when every co-access of interest was prefilled; a frozen checker
+         never mutates [extent_pairs] and is safe to share across domains *)
 }
 
-let checker (prog : Program.t) ~params =
+let checker ?(coaccesses = []) (prog : Program.t) ~params =
+  let extent_pairs = Hashtbl.create 32 in
+  List.iter
+    (fun ca ->
+      let key = Coaccess.key ca in
+      if not (Hashtbl.mem extent_pairs key) then
+        Hashtbl.add extent_pairs key (Coaccess.pairs_at ca ~params))
+    coaccesses;
   { cprog = prog;
     cparams = params;
     instances =
@@ -107,7 +117,8 @@ let checker (prog : Program.t) ~params =
         (fun (s : Stmt.t) -> (s.Stmt.name, Program.instances prog s ~params))
         prog.Program.stmts;
     ground_pairs = Deps.concrete_dependence_pairs prog ~params;
-    extent_pairs = Hashtbl.create 32 }
+    extent_pairs;
+    frozen = coaccesses <> [] }
 
 let check_legal c sched =
   List.for_all
@@ -140,7 +151,7 @@ let check_realizes c (ca : Coaccess.t) sched =
     | Some p -> p
     | None ->
         let p = Coaccess.pairs_at ca ~params:c.cparams in
-        Hashtbl.add c.extent_pairs key p;
+        if not c.frozen then Hashtbl.add c.extent_pairs key p;
         p
   in
   realizes_pairs c.cprog ~sched ~params:c.cparams ca pairs

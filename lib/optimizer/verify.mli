@@ -44,7 +44,16 @@ val realizes :
 
 type checker
 
-val checker : Riot_ir.Program.t -> params:(string * int) list -> checker
+(** [checker ?coaccesses prog ~params] builds the cached checker.
+    [?coaccesses] prefills the extent-pair table for those opportunities and
+    freezes the checker, making it safe to share read-only across domains
+    (an unexpected miss recomputes locally without inserting).  Without it
+    the checker fills the table lazily and must stay domain-confined. *)
+val checker :
+  ?coaccesses:Riot_analysis.Coaccess.t list ->
+  Riot_ir.Program.t ->
+  params:(string * int) list ->
+  checker
 val check_legal : checker -> Riot_ir.Sched.program_sched -> bool
 val check_injective : checker -> Riot_ir.Sched.program_sched -> bool
 val check_realizes : checker -> Riot_analysis.Coaccess.t -> Riot_ir.Sched.program_sched -> bool

@@ -65,6 +65,14 @@ let cache ?(coaccesses = []) (prog : Program.t) ~config =
     cpairs;
     cparams = params }
 
+let cache_params c = c.cparams
+let cache_instances c = c.cinstances
+
+let cache_pairs c (ca : Coaccess.t) =
+  match Hashtbl.find_opt c.cpairs (Coaccess.key ca) with
+  | Some p -> p
+  | None -> Coaccess.pairs_at ca ~params:c.cparams
+
 (* --- Construction -------------------------------------------------------- *)
 
 let build ?cache:c (prog : Program.t) ~config ~sched ~realized =

@@ -62,6 +62,17 @@ val cache :
     coaccesses (typically the analysis' full sharing list, a superset of
     every plan's realized set) at the configuration's parameters. *)
 
+val cache_params : cache -> (string * int) list
+(** The configuration parameters the cache was built at. *)
+
+val cache_instances : cache -> (string * (string * int) list list) list
+(** Per-statement concrete instance sets, in program statement order. *)
+
+val cache_pairs : cache -> Riot_analysis.Coaccess.t -> ((string * int) list * (string * int) list) list
+(** The concrete (src instance, dst instance) pairs of a coaccess's extent;
+    served from the prefill when available, recomputed (without inserting)
+    otherwise.  Read-only, so safe from any domain. *)
+
 val build :
   ?cache:cache ->
   Riot_ir.Program.t ->

@@ -62,6 +62,96 @@ let test_recost () =
     (opt_signature (Api.recost ~jobs:1 o ~config)
     = opt_signature (Api.recost ~jobs:3 o ~config))
 
+(* --- Branch and bound ----------------------------------------------------- *)
+
+let best_signature (o : Api.t) =
+  let b = Api.best o in
+  ( List.sort compare (List.map Coaccess.label b.Api.plan.Search.q),
+    b.Api.predicted_io_seconds,
+    b.Api.memory_bytes )
+
+let bb_signature (o : Api.t) =
+  (* Everything deterministic about a pruned run: surviving plans (canonical
+     order), costs, and every pruning counter. *)
+  ( opt_signature o,
+    o.Api.search_stats.Search.candidates_tried,
+    o.Api.search_stats.Search.pruned,
+    o.Api.search_stats.Search.bound_pruned,
+    o.Api.search_stats.Search.verify_rejected,
+    o.Api.search_stats.Search.complete )
+
+let test_bb_add_mul () =
+  let prog = Programs.add_mul () in
+  let exhaustive = Api.optimize ~jobs:1 prog ~config:Programs.table2 in
+  let bb1 = Api.optimize ~prune:true ~jobs:1 prog ~config:Programs.table2 in
+  let bb2 = Api.optimize ~prune:true ~jobs:2 prog ~config:Programs.table2 in
+  check_bool "b&b best = exhaustive best (jobs=1)" true
+    (best_signature bb1 = best_signature exhaustive);
+  check_bool "b&b best = exhaustive best (jobs=2)" true
+    (best_signature bb2 = best_signature exhaustive);
+  check_bool "b&b deterministic: jobs=2 = jobs=1" true
+    (bb_signature bb2 = bb_signature bb1);
+  check_bool "b&b search completed" true bb1.Api.search_stats.Search.complete;
+  (* Survivors are a subset of the exhaustive plan set with identical
+     sets and costs (indices differ where pruning removed plans). *)
+  let strip o =
+    List.map
+      (fun (_, labels, io, cpu, mem) -> (labels, io, cpu, mem))
+      (opt_signature o)
+  in
+  check_bool "b&b plans are a sublist of exhaustive plans" true
+    (List.for_all (fun p -> List.mem p (strip exhaustive)) (strip bb1))
+
+let test_bb_two_matmuls () =
+  let prog = Programs.two_matmuls () in
+  let config = Programs.table3_config_a in
+  let exhaustive = Api.optimize ~max_size:2 ~jobs:1 prog ~config in
+  let bb = Api.optimize ~prune:true ~max_size:2 ~jobs:2 prog ~config in
+  check_bool "b&b best = exhaustive best (k<=2)" true
+    (best_signature bb = best_signature exhaustive)
+
+let test_budget_monotone () =
+  let prog = Programs.add_mul () in
+  let config = Programs.table2 in
+  let io b = (Api.best b).Api.predicted_io_seconds in
+  let b_zero = Api.optimize ~budget:0.0 ~jobs:1 prog ~config in
+  let b_small = Api.optimize ~budget:0.25 ~jobs:1 prog ~config in
+  let b_full = Api.optimize ~prune:true ~jobs:1 prog ~config in
+  check_bool "budget 0 <= cost of plan 0" true
+    (io b_zero = (Api.original b_zero).Api.predicted_io_seconds);
+  check_bool "cost monotone: small budget <= zero budget" true
+    (io b_small <= io b_zero);
+  check_bool "cost monotone: full search <= small budget" true
+    (io b_full <= io b_small)
+
+let test_budget_interrupted_valid () =
+  let prog = Programs.two_matmuls () in
+  let config = Programs.table3_config_a in
+  let o = Api.optimize ~budget:0.0 ~max_size:2 ~jobs:1 prog ~config in
+  check_bool "interrupted search is marked incomplete" true
+    (not o.Api.search_stats.Search.complete);
+  check_bool "interrupted search still has Plan 0" true
+    ((Api.original o).Api.plan.Search.q = []);
+  (* [Api.best] statically verifies the winner (Engine.verify_exn): a
+     non-raising call means the anytime result is a valid, verified plan. *)
+  let b = Api.best o in
+  check_bool "anytime best is no worse than Plan 0" true
+    (b.Api.predicted_io_seconds
+    <= (Api.original o).Api.predicted_io_seconds)
+
+let qcheck_bb =
+  let open Test_random_programs in
+  [ QCheck.Test.make
+      ~name:"random programs: b&b best = exhaustive best (k<=2, jobs 1/2)"
+      ~count:10 seed_gen (fun seed ->
+        with_program seed (fun prog ->
+            let config = config_for prog in
+            let ex = Api.optimize ~max_size:2 ~jobs:1 prog ~config in
+            let bb1 = Api.optimize ~prune:true ~max_size:2 ~jobs:1 prog ~config in
+            let bb2 = Api.optimize ~prune:true ~max_size:2 ~jobs:2 prog ~config in
+            best_signature ex = best_signature bb1
+            && bb_signature bb1 = bb_signature bb2)) ]
+
 let qcheck_parallel =
   let open Test_random_programs in
   [ QCheck.Test.make ~name:"random programs: enumerate jobs=3 = jobs=1" ~count:15
@@ -82,5 +172,11 @@ let suite =
     [ Alcotest.test_case "enumerate add_mul" `Quick test_enumerate_add_mul;
       Alcotest.test_case "enumerate two_matmuls" `Slow test_enumerate_two_matmuls;
       Alcotest.test_case "optimize add_mul" `Quick test_optimize_add_mul;
-      Alcotest.test_case "recost" `Quick test_recost ]
-    @ List.map QCheck_alcotest.to_alcotest qcheck_parallel )
+      Alcotest.test_case "recost" `Quick test_recost;
+      Alcotest.test_case "b&b = exhaustive on add_mul" `Quick test_bb_add_mul;
+      Alcotest.test_case "b&b = exhaustive on two_matmuls" `Slow
+        test_bb_two_matmuls;
+      Alcotest.test_case "budget monotonicity" `Quick test_budget_monotone;
+      Alcotest.test_case "interrupted budget returns valid plan" `Quick
+        test_budget_interrupted_valid ]
+    @ List.map QCheck_alcotest.to_alcotest (qcheck_parallel @ qcheck_bb) )
