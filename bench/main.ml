@@ -930,6 +930,8 @@ let faultfuzz_run ~seed ~min_crash_cases =
   Printf.printf "  transient runs     %6d\n" r.Fault_fuzz.transient_cases;
   Printf.printf "  vectorized runs    %6d (compared against interpreted reference)\n"
     r.Fault_fuzz.vector_cases;
+  Printf.printf "  async runs         %6d (through Backend.with_async: transient + crash)\n"
+    r.Fault_fuzz.async_cases;
   Printf.printf "  faults injected    %6d\n" r.Fault_fuzz.faults_injected;
   Printf.printf "  retries            %6d\n" r.Fault_fuzz.retries;
   let oc = open_out faultfuzz_json_file in
@@ -937,12 +939,14 @@ let faultfuzz_run ~seed ~min_crash_cases =
     "{\"seed\": %d, \"programs\": %d, \"plans\": %d, \"verified_plans\": %d, \
      \"crash_cases\": %d, \
      \"recoveries\": %d, \"complete_cases\": %d, \"transient_cases\": %d, \
-     \"vector_cases\": %d, \"faults_injected\": %d, \"retries\": %d, \
+     \"vector_cases\": %d, \"async_cases\": %d, \"faults_injected\": %d, \
+     \"retries\": %d, \
      \"mismatches\": %d, \"seconds\": %.1f}\n"
     seed r.Fault_fuzz.programs r.Fault_fuzz.plans r.Fault_fuzz.verified_plans
     r.Fault_fuzz.crash_cases
     r.Fault_fuzz.recoveries r.Fault_fuzz.complete_cases r.Fault_fuzz.transient_cases
-    r.Fault_fuzz.vector_cases r.Fault_fuzz.faults_injected r.Fault_fuzz.retries
+    r.Fault_fuzz.vector_cases r.Fault_fuzz.async_cases r.Fault_fuzz.faults_injected
+    r.Fault_fuzz.retries
     (List.length r.Fault_fuzz.mismatches) dt;
   close_out oc;
   Printf.printf "  (wrote %s)\n" faultfuzz_json_file;
@@ -955,6 +959,8 @@ let faultfuzz_run ~seed ~min_crash_cases =
   if r.Fault_fuzz.recoveries <> r.Fault_fuzz.crash_cases then
     failwith "faultfuzz: some crash cases did not recover";
   if r.Fault_fuzz.retries = 0 then failwith "faultfuzz: no retries exercised";
+  if r.Fault_fuzz.async_cases = 0 then
+    failwith "faultfuzz: no async-tier cases exercised";
   if r.Fault_fuzz.verified_plans <> r.Fault_fuzz.plans then
     failwith "faultfuzz: some plans failed static verification"
 
@@ -1200,6 +1206,125 @@ let checkverify_run ~variant ~linreg_max_size =
 let checkverify () = checkverify_run ~variant:"full" ~linreg_max_size:4
 let checkverify_smoke () = checkverify_run ~variant:"smoke" ~linreg_max_size:2
 
+(* --- iolap: async storage tier, overlap of I/O with computation ------------------- *)
+
+let iolap_json_file = "BENCH_iolap.json"
+
+(* The read-heavy paper pipeline (add_mul on a reduced table2) on the
+   simulated 96/60 MB/s disk, with the simulator's virtual seconds turned
+   into real [Unix.sleepf] stalls.  The sleep factor is self-calibrated so
+   the plan's simulated I/O wall equals its measured compute wall — the
+   regime where overlap pays the most and a synchronous run costs
+   compute + I/O while a perfectly overlapped one costs max(compute, I/O).
+   The async tier must (a) produce byte-identical streams and identical
+   per-array physical I/O, and (b) hide enough of the I/O wall behind the
+   kernels to clear the gate. *)
+let iolap_run ~variant ~scale ~reps ~gate =
+  section
+    (Printf.sprintf
+       "iolap (%s): sync vs async storage on the read-heavy paper pipeline"
+       variant);
+  let prog = Programs.add_mul () in
+  let config = Programs.scale_down ~factor:scale Programs.table2 in
+  let opt = Api.optimize prog ~config in
+  let best = Api.best opt in
+  let cplan = best.Api.cplan in
+  let mem_cap = best.Api.memory_bytes in
+  let one ~sleep_factor ~async =
+    let inner =
+      Backend.sim ~read_bw:machine.Machine.read_bw
+        ~write_bw:machine.Machine.write_bw
+        ~request_overhead:machine.Machine.request_overhead ~sleep_factor ()
+    in
+    let exec b =
+      let stores = Engine.stores_for b ~format:Block_store.Daf_format ~config in
+      Fault_fuzz.load_inputs prog config stores;
+      b.Backend.sync ();
+      let t0 = Unix.gettimeofday () in
+      let r =
+        Engine.run ~compute:true ~stores ~mode:Engine.Vector cplan ~backend:b
+          ~format:Block_store.Daf_format ~mem_cap
+      in
+      (Unix.gettimeofday () -. t0, r)
+    in
+    let wall, r =
+      if async then Backend.with_async inner exec else exec inner
+    in
+    (* The async queue has drained and shut down: snapshot the raw disk. *)
+    let stores =
+      Engine.stores_for inner ~format:Block_store.Daf_format ~config
+    in
+    (wall, r, Fault_fuzz.snapshot inner stores)
+  in
+  let repeat ~sleep_factor ~async =
+    let best_wall = ref infinity and out = ref None in
+    for _ = 1 to reps do
+      let wall, r, snap = one ~sleep_factor ~async in
+      if wall < !best_wall then best_wall := wall;
+      out := Some (r, snap)
+    done;
+    let r, snap = Option.get !out in
+    (!best_wall, r, snap)
+  in
+  (* Calibration: no sleeping — compute wall and the plan's virtual I/O. *)
+  let compute_wall, r0, _ = repeat ~sleep_factor:0. ~async:false in
+  let vio = r0.Engine.virtual_io_seconds in
+  if vio <= 0. then failwith "iolap: plan performed no I/O";
+  let factor = compute_wall /. vio in
+  let io_wall = vio *. factor in
+  Printf.printf
+    "add_mul @ table2/%d: %d steps, %d reads, %d writes; compute %.3f s, \
+     virtual I/O %.3f s, sleep factor %.3g (I/O wall %.3f s)\n"
+    scale
+    (Array.length cplan.Cplan.steps)
+    r0.Engine.reads r0.Engine.writes compute_wall vio factor io_wall;
+  let t_sync, r_sync, s_sync = repeat ~sleep_factor:factor ~async:false in
+  let t_async, r_async, s_async = repeat ~sleep_factor:factor ~async:true in
+  let identical = s_sync = s_async in
+  let same_io = r_sync.Engine.per_array = r_async.Engine.per_array in
+  let speedup = t_sync /. t_async in
+  (* Fraction of the I/O wall hidden behind the kernels. *)
+  let overlap = (t_sync -. t_async) /. io_wall in
+  Printf.printf "%-14s %-12s %-14s\n" "io-mode" "wall (s)" "vs sync";
+  Printf.printf "%-14s %-12.3f %-14s\n" "sync" t_sync "1.00x";
+  Printf.printf "%-14s %-12.3f %-14s\n" "async" t_async
+    (Printf.sprintf "%.2fx" speedup);
+  Printf.printf
+    "\noverlap ratio %.2f (I/O hidden behind compute; best of %d run(s)); \
+     outputs %s, per-array I/O %s\n"
+    overlap reps
+    (if identical then "byte-identical [PASS]" else "DIVERGED [FAIL]")
+    (if same_io then "identical [PASS]" else "DIVERGED [FAIL]");
+  let oc = open_out iolap_json_file in
+  Printf.fprintf oc
+    "{\"variant\": %S, \"scale\": %d, \"reps\": %d, \"steps\": %d, \
+     \"reads\": %d, \"writes\": %d, \"compute_seconds\": %.6f, \
+     \"virtual_io_seconds\": %.6f, \"sleep_factor\": %.6g, \
+     \"io_wall_seconds\": %.6f, \"sync_seconds\": %.6f, \
+     \"async_seconds\": %.6f, \"speedup\": %.3f, \"overlap_ratio\": %.3f, \
+     \"identical\": %b, \"same_per_array_io\": %b}\n"
+    variant scale reps
+    (Array.length cplan.Cplan.steps)
+    r0.Engine.reads r0.Engine.writes compute_wall vio factor io_wall t_sync
+    t_async speedup overlap identical same_io;
+  close_out oc;
+  Printf.printf "(wrote %s)\n" iolap_json_file;
+  if not identical then failwith "iolap: sync and async outputs diverged";
+  if not same_io then
+    failwith "iolap: async changed the physical per-array request set";
+  if overlap <= 0. then
+    failwith "iolap: async run no faster than sync (no overlap)";
+  if gate && speedup < 1.3 then
+    failwith (Printf.sprintf "iolap: speedup %.2fx below the 1.3x gate" speedup)
+
+let iolap () =
+  iolap_run ~variant:"full"
+    ~scale:(env_int "RIOT_IOLAP_SCALE" 25)
+    ~reps:(env_int "RIOT_IOLAP_REPS" 3)
+    ~gate:true
+
+let iolap_smoke () = iolap_run ~variant:"smoke" ~scale:50 ~reps:1 ~gate:false
+
 (* --- Driver ------------------------------------------------------------------------ *)
 
 let experiments =
@@ -1229,6 +1354,8 @@ let experiments =
     ("cpubound-smoke", cpubound_smoke);
     ("checkverify", checkverify);
     ("checkverify-smoke", checkverify_smoke);
+    ("iolap", iolap);
+    ("iolap-smoke", iolap_smoke);
     ("micro", micro) ]
 
 let () =
@@ -1265,7 +1392,8 @@ let () =
       List.filter
         (fun n ->
           n <> "opttime-smoke" && n <> "polyfuzz-smoke" && n <> "faultfuzz-smoke"
-          && n <> "cpubound-smoke" && n <> "checkverify-smoke")
+          && n <> "cpubound-smoke" && n <> "checkverify-smoke"
+          && n <> "iolap-smoke")
         (List.map fst experiments)
     else args
   in

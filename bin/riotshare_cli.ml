@@ -308,7 +308,7 @@ let optimize_cmd =
 (* --- run ----------------------------------------------------------------------- *)
 
 let run program source config params blocks max_size jobs budget scale format mode
-    trace stats_per_array check_cost failpoints =
+    io_mode trace stats_per_array check_cost failpoints =
   handle (fun () ->
       let prog, default = load_program ~program ~source in
       let config = resolve_config ~default ~config ~params ~blocks in
@@ -351,10 +351,16 @@ let run program source config params blocks max_size jobs budget scale format mo
       let backend =
         if injecting then Backend.retrying (Backend.faulty backend) else backend
       in
-      let result =
+      let exec backend =
         match exec_mode with
         | None -> Api.execute ~compute:false ?trace best ~backend ~format
         | Some m -> Api.execute ~compute:true ~mode:m ?trace best ~backend ~format
+      in
+      let result =
+        match io_mode with
+        | "sync" -> exec backend
+        | "async" -> Backend.with_async backend exec
+        | m -> failwith ("unknown io-mode " ^ m ^ " (sync or async)")
       in
       Format.printf "executed: %a@." Api.pp_costed best;
       Format.printf
@@ -410,6 +416,16 @@ let run_cmd =
                    loaded) through the interpreting or the tile-vectorized \
                    executor.  The two executors are differentially equivalent: \
                    byte-identical outputs and identical physical I/O.")
+        $ Arg.(
+            value
+            & opt string "sync"
+            & info [ "io-mode" ]
+                ~doc:
+                  "$(b,sync) (default): every block request blocks the engine. \
+                   $(b,async): route storage through a dedicated I/O domain — \
+                   plan-driven read-ahead and write-behind with group commit \
+                   overlap I/O with computation; outputs and physical request \
+                   totals are identical to $(b,sync) by construction.")
         $ Arg.(
             value
             & opt (some string) None

@@ -20,6 +20,7 @@ type result = {
   complete_cases : int;
   transient_cases : int;
   vector_cases : int;
+  async_cases : int;
   faults_injected : int;
   retries : int;
   mismatches : string list;
@@ -90,6 +91,7 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
   and mismatches = ref [] in
   let fail fmt = Printf.ksprintf (fun m -> mismatches := m :: !mismatches) fmt in
   let vector_cases = ref 0 in
+  let async_cases = ref 0 in
   let max_programs = max 4 (min_crash_cases / 2) in
   let sp = ref seed in
   while !crash_cases < min_crash_cases && !programs < max_programs do
@@ -233,7 +235,91 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
             | exception e ->
                 fail "transient seed=%d plan=%d raised %s" case_seed pi
                   (Printexc.to_string e));
-            Failpoint.reset ())
+            Failpoint.reset ();
+            (* Async storage tier, transient faults: route the same plan
+               through [Backend.with_async] with the retry wrapper inside
+               the queue (retries happen on the I/O domain).  The snapshot
+               is taken on the raw inner disk after the wrapper drained and
+               shut down, so write-behind must have landed every block, and
+               the totals must equal the clean run's — read-ahead never
+               changes the physical request set. *)
+            let b = mk_backend () in
+            load_inputs prog config (Engine.stores_for b ~format ~config);
+            Io_stats.reset b.Backend.stats;
+            Failpoint.reset ();
+            Failpoint.arm Backend.fp_read_error (Failpoint.Every 5);
+            Failpoint.arm Backend.fp_write_error (Failpoint.Every 7);
+            Failpoint.arm Backend.fp_read_short (Failpoint.Nth 1);
+            (match
+               Backend.with_async
+                 (Backend.retrying ~policy (Backend.faulty b))
+                 (fun ab ->
+                   ignore
+                     (Engine.run ~compute:true
+                        ~stores:(Engine.stores_for ab ~format ~config)
+                        ~mode:Engine.Vector cplan ~backend:ab ~format ~mem_cap))
+             with
+            | () ->
+                incr async_cases;
+                incr vector_cases;
+                let s = b.Backend.stats in
+                faults := !faults + s.Io_stats.faults_injected;
+                retries := !retries + s.Io_stats.retries;
+                let astores = Engine.stores_for b ~format ~config in
+                if snapshot b astores <> reference then
+                  fail "%s: async transient output diverged" (where 0);
+                if s.Io_stats.retries <> s.Io_stats.faults_injected then
+                  fail "%s: async: %d faults but %d retries" (where 0)
+                    s.Io_stats.faults_injected s.Io_stats.retries;
+                if counts s <> clean_counts then
+                  fail "%s: async I/O totals diverged from sync" (where 0)
+            | exception e ->
+                fail "async transient seed=%d plan=%d raised %s" case_seed pi
+                  (Printexc.to_string e));
+            Failpoint.reset ();
+            (* Async crash sweep (every third point of the sync sweep): the
+               crash fires on the I/O domain — often between an issued
+               prefetch and its consuming read, or inside a deferred
+               write-behind — and surfaces at the engine's next blocking
+               storage operation.  The surviving disk may hold writes that
+               were enqueued after the failed operation, exactly the
+               volatile-write-cache reordering the journal's sync barriers
+               defend against; recovery must still restore a consistent
+               prefix.  The restart runs synchronously on the raw disk. *)
+            List.iteri
+              (fun i k ->
+                if i mod 3 = 0 then begin
+                  let b = mk_backend () in
+                  load_inputs prog config (Engine.stores_for b ~format ~config);
+                  Failpoint.reset ();
+                  Failpoint.arm Backend.fp_crash (Failpoint.Nth k);
+                  (match
+                     Backend.with_async (Backend.faulty b) (fun ab ->
+                         ignore
+                           (Engine.run ~compute:true
+                              ~stores:(Engine.stores_for ab ~format ~config)
+                              ~journal:true ~mode:Engine.Vector cplan
+                              ~backend:ab ~format ~mem_cap))
+                   with
+                  | () -> incr complete_cases
+                  | exception Backend.Crash _ -> (
+                      incr crash_cases;
+                      incr async_cases;
+                      faults := !faults + b.Backend.stats.Io_stats.faults_injected;
+                      Failpoint.reset ();
+                      match run ~journal:true ~resume:true ~mode:Engine.Interpret b with
+                      | rstores ->
+                          if snapshot b rstores = reference then incr recoveries
+                          else fail "%s: async resumed output diverged" (where k)
+                      | exception e ->
+                          fail "%s: async resume raised %s" (where k)
+                            (Printexc.to_string e))
+                  | exception e ->
+                      fail "%s: async crash case raised %s" (where k)
+                        (Printexc.to_string e));
+                  Failpoint.reset ()
+                end)
+              ks)
           chosen)
   done;
   { programs = !programs;
@@ -244,6 +330,7 @@ let campaign ?(seed = 0) ?(min_crash_cases = 200) ?(plans_per_program = 2)
     complete_cases = !complete_cases;
     transient_cases = !transient_cases;
     vector_cases = !vector_cases;
+    async_cases = !async_cases;
     faults_injected = !faults;
     retries = !retries;
     mismatches = List.rev !mismatches }

@@ -30,7 +30,13 @@
       still byte-identical, that every injected fault was absorbed by
       exactly one retry, and that the read/write/byte counters equal the
       interpreted clean run's (no double counting - and physical I/O is
-      mode-invariant).
+      mode-invariant);
+    - repeats the transient run and a thinned crash sweep through the
+      asynchronous storage tier ({!Riot_storage.Backend.with_async}):
+      identity and I/O totals are checked on the raw disk after the queue
+      drained, and crashes that fire on the I/O domain (between an issued
+      prefetch and its consumption, or inside a deferred write-behind)
+      must still journal-recover byte-identically.
 
     Everything derives from [seed], so a campaign is reproducible;
     failures are collected into [mismatches] rather than raised. *)
@@ -75,6 +81,13 @@ type result = {
       (** runs executed in [Vector] mode and compared byte-for-byte against
           the interpreted reference (journalled probes, cross-mode resumes,
           transient runs) *)
+  async_cases : int;
+      (** runs routed through {!Riot_storage.Backend.with_async}: a
+          transient-fault run per plan whose raw-disk snapshot and physical
+          I/O totals must equal the synchronous clean run's, plus a crash
+          sweep whose crashes fire on the I/O domain (between an issued
+          prefetch and its consuming read, or inside a deferred
+          write-behind) and must still recover byte-identically *)
   faults_injected : int;  (** over all fault-armed runs *)
   retries : int;  (** over all transient runs *)
   mismatches : string list;  (** human-readable failure descriptions *)

@@ -1,5 +1,6 @@
 module Cplan = Riot_plan.Cplan
 module Cost_check = Riot_plan.Cost_check
+module Prefetch = Riot_plan.Prefetch
 module Config = Riot_ir.Config
 module Access = Riot_ir.Access
 module Stmt = Riot_ir.Stmt
@@ -152,8 +153,8 @@ let verify_exn ?cap_bytes plan =
     raise (Riot_plan.Plan_verify.Rejected r)
 
 let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
-    ?(mode = Vector) ?(verify = false) (plan : Cplan.t) ~backend ~format
-    ~mem_cap =
+    ?(mode = Vector) ?(verify = false) ?(prefetch = 2) (plan : Cplan.t)
+    ~backend ~format ~mem_cap =
   if verify then verify_exn ~cap_bytes:mem_cap plan;
   (* Phantom (compute-less) runs have no buffers for the compiled closures to
      chew on; they always take the interpreted path. *)
@@ -252,6 +253,19 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
             end)
           plan.Cplan.pins;
         (pin_start, pin_stop)
+  in
+  (* Read-ahead hints.  Phantom runs are excluded: they account reads via
+     [touch_read] without materialising bytes, so a real prefetched pread
+     would double-count the traffic. *)
+  let hints =
+    if compute && prefetch > 0 then Some (Prefetch.make plan) else None
+  in
+  let issue_hints ~now ~horizon =
+    match hints with
+    | None -> ()
+    | Some h ->
+        Prefetch.issue h ~now ~horizon (fun (blk : Cplan.block) ->
+            Block_store.prefetch (store blk.Cplan.array) blk.Cplan.index)
   in
   let writer =
     if journal then
@@ -727,25 +741,44 @@ let run ?(compute = true) ?stores ?trace ?(journal = false) ?(resume = false)
       step_end i
     done
   in
+  (* Hints are issued at dispatch boundaries so the next unit's blocks are
+     in flight while the current unit's kernels run.  A hint whose earliest
+     safe step falls strictly inside a fused run is skipped by the
+     [h_earliest <= now] gate and falls back to a demand read. *)
   (match compiled with
   | None ->
       Array.iteri
-        (fun i st -> if i >= start_step then exec_interpret i st)
+        (fun i st ->
+          if i >= start_step then begin
+            issue_hints ~now:i ~horizon:(i + prefetch);
+            exec_interpret i st
+          end)
         plan.Cplan.steps
   | Some cp -> (
       try
         Array.iter
           (function
             | Vexec.Single s ->
-                if s.Vexec.s_step >= start_step then exec_single s
+                if s.Vexec.s_step >= start_step then begin
+                  issue_hints ~now:s.Vexec.s_step
+                    ~horizon:(s.Vexec.s_step + prefetch);
+                  exec_single s
+                end
             | Vexec.Fused f ->
                 if f.Vexec.f_hi < start_step then ()
                 else if degraded f then
                   Array.iter
                     (fun (s : Vexec.single) ->
-                      if s.Vexec.s_step >= start_step then exec_single s)
+                      if s.Vexec.s_step >= start_step then begin
+                        issue_hints ~now:s.Vexec.s_step
+                          ~horizon:(s.Vexec.s_step + prefetch);
+                        exec_single s
+                      end)
                     f.Vexec.f_steps
-                else exec_fused f)
+                else begin
+                  issue_hints ~now:f.Vexec.f_lo ~horizon:(f.Vexec.f_hi + prefetch);
+                  exec_fused f
+                end)
           cp.Vexec.ops
       with Vexec.Arity { step; stmt; kernel; operands } ->
         raise (Error (Kernel_arity { step; stmt; kernel; operands }))));

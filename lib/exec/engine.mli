@@ -79,6 +79,7 @@ val run :
   ?resume:bool ->
   ?mode:mode ->
   ?verify:bool ->
+  ?prefetch:int ->
   Riot_plan.Cplan.t ->
   backend:Riot_storage.Backend.t ->
   format:Riot_storage.Block_store.format ->
@@ -138,7 +139,17 @@ val run :
 
     [verify] (default false) runs {!verify_exn} with [cap_bytes = mem_cap]
     before touching storage, rejecting a malformed plan statically instead
-    of corrupting state at run time. *)
+    of corrupting state at run time.
+
+    [prefetch] (default 2) is the read-ahead depth in plan steps: at each
+    dispatch boundary the engine issues {!Riot_storage.Block_store.prefetch}
+    hints for the [From_disk] reads of the next [prefetch] steps, as
+    scheduled by {!Riot_plan.Prefetch} (hints are only issued at steps where
+    they are provably ordered after any pending write-back of the same
+    block).  Hints are no-ops on synchronous backends and overlap reads with
+    computation under {!Riot_storage.Backend.async}; they never change the
+    set of physical requests.  [prefetch = 0] disables hinting; phantom runs
+    ([compute = false]) never hint. *)
 
 val run_opportunistic :
   Riot_plan.Cplan.t ->

@@ -29,11 +29,16 @@ type t = {
   pwrite : name:string -> off:int -> data:bytes -> unit;
   read_discard : name:string -> off:int -> len:int -> unit;
   write_discard : name:string -> off:int -> len:int -> unit;
+  prefetch : name:string -> off:int -> len:int -> unit;
   size : name:string -> int;
   sync : unit -> unit;
   close : unit -> unit;
   stats : Io_stats.t;
 }
+
+(* Synchronous backends have nothing useful to do with a read-ahead hint:
+   performing the read now would just move the same blocking I/O earlier. *)
+let noop_prefetch ~name:_ ~off:_ ~len:_ = ()
 
 (* --- File backend -------------------------------------------------------- *)
 
@@ -63,11 +68,16 @@ let file ~root =
     let rec fill pos =
       if pos < len then begin
         let n = Unix.read fd buf pos (len - pos) in
-        if n = 0 then () (* reading past EOF yields zeroes *) else fill (pos + n)
+        if n = 0 then pos (* reading past EOF yields zeroes *)
+        else fill (pos + n)
       end
+      else pos
     in
-    fill 0;
-    Io_stats.add_read ~stream:name stats len;
+    let moved = fill 0 in
+    (* Account the bytes the disk actually served: the zero-filled suffix of
+       an EOF-short read never moved, and counting it would overstate
+       measured I/O relative to the cost model (see backend.mli). *)
+    Io_stats.add_read ~stream:name stats moved;
     buf
   in
   let pwrite ~name ~off ~data =
@@ -83,9 +93,18 @@ let file ~root =
     drain 0;
     Io_stats.add_write ~stream:name stats len
   in
-  let scratch = Bytes.create 65536 in
+  (* The read scratch is domain-local: once an async wrapper moves I/O onto
+     a worker domain, a single shared buffer would be a cross-domain data
+     race the moment any other domain also touched this backend. *)
+  let scratch_key = Domain.DLS.new_key (fun () -> Bytes.create 65536) in
+  (* [write_discard] must emit zeroes (the documented contract: a discarded
+     write behaves like writing [len] zero bytes).  This buffer is created
+     zeroed and never written to — sharing the read scratch here would leak
+     whatever bytes a previous [read_discard] left behind into real files. *)
+  let zeroes = Bytes.make 65536 '\000' in
   let read_discard ~name ~off ~len =
     let fd = fd_of name in
+    let scratch = Domain.DLS.get scratch_key in
     ignore (Unix.lseek fd off Unix.SEEK_SET);
     let rec chew remaining =
       if remaining > 0 then begin
@@ -94,6 +113,10 @@ let file ~root =
       end
     in
     chew len;
+    (* Unlike [pread], account the full requested length: [read_discard] is
+       the accounting primitive phantom cost-validation runs issue against
+       regions that may never have been materialized, and it models the
+       cost of the read, mirroring the sim backend (see backend.mli). *)
     Io_stats.add_read ~stream:name stats len
   in
   let write_discard ~name ~off ~len =
@@ -101,8 +124,8 @@ let file ~root =
     ignore (Unix.lseek fd off Unix.SEEK_SET);
     let rec fill remaining =
       if remaining > 0 then begin
-        let chunk = min remaining (Bytes.length scratch) in
-        let n = Unix.write fd scratch 0 chunk in
+        let chunk = min remaining (Bytes.length zeroes) in
+        let n = Unix.write fd zeroes 0 chunk in
         fill (remaining - n)
       end
     in
@@ -115,7 +138,15 @@ let file ~root =
     Hashtbl.iter (fun _ fd -> try Unix.close fd with Unix.Unix_error _ -> ()) fds;
     Hashtbl.reset fds
   in
-  { pread; pwrite; read_discard; write_discard; size; sync; close; stats }
+  { pread;
+    pwrite;
+    read_discard;
+    write_discard;
+    prefetch = noop_prefetch;
+    size;
+    sync;
+    close;
+    stats }
 
 (* --- Simulated backend --------------------------------------------------- *)
 
@@ -127,8 +158,18 @@ let file ~root =
    quadratic in the block count (cpubound exposed this). *)
 type sim_stream = { mutable sdata : Bytes.t; mutable slen : int }
 
-let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
+let sim ?(retain_data = true) ?(sleep_factor = 0.) ~read_bw ~write_bw
+    ~request_overhead () =
   let stats = Io_stats.create () in
+  (* With a positive [sleep_factor] every request really blocks the calling
+     domain for [virtual delta * factor] wall seconds, turning the virtual
+     disk into a physical one at an adjustable speed — the iolap benchmark
+     calibrates the factor so simulated I/O and real compute have comparable
+     wall cost, then measures how much of it an async wrapper hides. *)
+  let charge delta =
+    stats.Io_stats.virtual_time <- stats.Io_stats.virtual_time +. delta;
+    if sleep_factor > 0. then Unix.sleepf (delta *. sleep_factor)
+  in
   (* Each name maps to its current size and, when retaining, its contents. *)
   let sizes : (string, int) Hashtbl.t = Hashtbl.create 8 in
   let contents : (string, sim_stream) Hashtbl.t = Hashtbl.create 8 in
@@ -155,8 +196,7 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
   in
   let cur_size name = Option.value ~default:0 (Hashtbl.find_opt sizes name) in
   let pread ~name ~off ~len =
-    stats.Io_stats.virtual_time <-
-      stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
+    charge ((float_of_int len /. read_bw) +. request_overhead);
     Io_stats.add_read ~stream:name stats len;
     if retain_data then begin
       let s = stream_of name in
@@ -169,8 +209,7 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
   in
   let pwrite ~name ~off ~data =
     let len = Bytes.length data in
-    stats.Io_stats.virtual_time <-
-      stats.Io_stats.virtual_time +. (float_of_int len /. write_bw) +. request_overhead;
+    charge ((float_of_int len /. write_bw) +. request_overhead);
     Io_stats.add_write ~stream:name stats len;
     Hashtbl.replace sizes name (max (cur_size name) (off + len));
     if retain_data then begin
@@ -182,13 +221,11 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
   in
   let read_discard ~name ~off ~len =
     ignore off;
-    stats.Io_stats.virtual_time <-
-      stats.Io_stats.virtual_time +. (float_of_int len /. read_bw) +. request_overhead;
+    charge ((float_of_int len /. read_bw) +. request_overhead);
     Io_stats.add_read ~stream:name stats len
   in
   let write_discard ~name ~off ~len =
-    stats.Io_stats.virtual_time <-
-      stats.Io_stats.virtual_time +. (float_of_int len /. write_bw) +. request_overhead;
+    charge ((float_of_int len /. write_bw) +. request_overhead);
     Io_stats.add_write ~stream:name stats len;
     Hashtbl.replace sizes name (max (cur_size name) (off + len))
   in
@@ -198,7 +235,15 @@ let sim ?(retain_data = true) ~read_bw ~write_bw ~request_overhead () =
     Hashtbl.reset sizes;
     Hashtbl.reset contents
   in
-  { pread; pwrite; read_discard; write_discard; size; sync; close; stats }
+  { pread;
+    pwrite;
+    read_discard;
+    write_discard;
+    prefetch = noop_prefetch;
+    size;
+    sync;
+    close;
+    stats }
 
 (* --- Fault injection ------------------------------------------------------ *)
 
@@ -238,8 +283,10 @@ let faulty inner =
         fail Read name off len ~transient:false;
       if Failpoint.should_fail fp_read_short then
         (* Only a prefix arrived; report how much so the caller can tell a
-           short read from an outright failure. *)
-        fail Read name off (len / 2) ~transient:true
+           short read from an outright failure.  Clamped to >= 1: at len <= 1
+           the naive [len / 2] would report a 0-byte "short read",
+           indistinguishable from a total failure. *)
+        fail Read name off (max 1 (len / 2)) ~transient:true
     end
   in
   let pread ~name ~off ~len =
@@ -288,7 +335,15 @@ let faulty inner =
     inner.sync ()
   in
   let close () = inner.close () in
-  { pread; pwrite; read_discard; write_discard; size; sync; close; stats }
+  { pread;
+    pwrite;
+    read_discard;
+    write_discard;
+    prefetch = inner.prefetch;
+    size;
+    sync;
+    close;
+    stats }
 
 (* --- Retry with exponential backoff -------------------------------------- *)
 
@@ -335,7 +390,116 @@ let retrying ?(policy = default_retry_policy) inner =
       (fun ~name ~off ~len ->
         with_retries ~stream:name (fun () ->
             inner.write_discard ~name ~off ~len));
+    prefetch = inner.prefetch;
     size = inner.size;
     sync = (fun () -> with_retries (fun () -> inner.sync ()));
     close = inner.close;
     stats }
+
+(* --- Asynchronous wrapper: read-ahead + write-behind ---------------------- *)
+
+(* State of one in-flight prefetch.  The table mapping request keys to cells
+   lives on the issuing domain only; the cell's [state] is the one word that
+   crosses domains, always under [cm]. *)
+type fetch_state = Fetching | Fetched of bytes | Fetch_failed of exn
+
+type fetch_cell = { mutable state : fetch_state }
+
+let make_async ?(max_prefetch = 64) inner =
+  let q = Io_queue.create () in
+  (* Outstanding read-ahead, keyed by the exact (stream, off, len) the
+     demand read will use.  Touched only by the issuing domain (hint at
+     insert, consuming pread at remove), so no lock guards the table
+     itself. *)
+  let table : (string * int * int, fetch_cell) Hashtbl.t = Hashtbl.create 32 in
+  let cm = Mutex.create () in
+  let cv = Condition.create () in
+  let prefetch ~name ~off ~len =
+    let key = (name, off, len) in
+    (* A duplicate hint for an outstanding request is dropped, and so are
+       hints beyond the buffer budget: both fall back to an ordinary demand
+       read, never to a second physical read. *)
+    if (not (Hashtbl.mem table key)) && Hashtbl.length table < max_prefetch
+    then begin
+      let c = { state = Fetching } in
+      Hashtbl.add table key c;
+      Io_queue.submit q (fun () ->
+          let st =
+            try Fetched (inner.pread ~name ~off ~len)
+            with e -> Fetch_failed e
+          in
+          Mutex.lock cm;
+          c.state <- st;
+          Condition.broadcast cv;
+          Mutex.unlock cm)
+    end
+  in
+  let pread ~name ~off ~len =
+    let key = (name, off, len) in
+    match Hashtbl.find_opt table key with
+    | Some c ->
+        Hashtbl.remove table key;
+        Mutex.lock cm;
+        let rec settle () =
+          match c.state with
+          | Fetching ->
+              Condition.wait cv cm;
+              settle ()
+          | s -> s
+        in
+        let s = settle () in
+        Mutex.unlock cm;
+        (match s with
+        | Fetched data -> data
+        | Fetch_failed e -> raise e
+        | Fetching -> assert false)
+    | None -> Io_queue.run q (fun () -> inner.pread ~name ~off ~len)
+  in
+  let pwrite ~name ~off ~data =
+    (* Write-behind.  The copy decouples the caller's buffer from the queue:
+       the backend contract lets callers reuse [data] as soon as pwrite
+       returns. *)
+    let data = Bytes.copy data in
+    Io_queue.submit q (fun () -> inner.pwrite ~name ~off ~data)
+  in
+  let read_discard ~name ~off ~len =
+    Io_queue.submit q (fun () -> inner.read_discard ~name ~off ~len)
+  in
+  let write_discard ~name ~off ~len =
+    Io_queue.submit q (fun () -> inner.write_discard ~name ~off ~len)
+  in
+  let size ~name = Io_queue.run q (fun () -> inner.size ~name) in
+  (* The group-commit point: a sync drains every queued write (FIFO, so all
+     of them precede it) and only then syncs the inner backend.  Journal
+     boundaries call this, coalescing all write-behind since the previous
+     boundary into one commit. *)
+  let sync () = Io_queue.run q (fun () -> inner.sync ()) in
+  let close () =
+    Io_queue.shutdown q;
+    inner.close ()
+  in
+  ( { pread;
+      pwrite;
+      read_discard;
+      write_discard;
+      prefetch;
+      size;
+      sync;
+      close;
+      stats = inner.stats },
+    q )
+
+let async ?max_prefetch inner = fst (make_async ?max_prefetch inner)
+
+let with_async ?max_prefetch inner f =
+  let b, q = make_async ?max_prefetch inner in
+  match f b with
+  | v ->
+      Io_queue.shutdown q;
+      v
+  | exception e ->
+      (* Drain and join so no job races the caller's recovery, but let the
+         original failure win over any parked write-behind error (after a
+         simulated crash every queued job fails with [Crash] too). *)
+      (try Io_queue.shutdown q with _ -> ());
+      raise e

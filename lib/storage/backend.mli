@@ -43,15 +43,42 @@ type t = {
           returns exactly [len] bytes and never changes the stream's size.
           Both implementations obey this (the file backend by pre-zeroing
           the buffer, the simulated one by construction); block stores rely
-          on it to read never-written blocks as zeroes. *)
+          on it to read never-written blocks as zeroes.
+
+          {b Accounting}: the {e file} backend charges {!Io_stats} with the
+          bytes the disk actually served, so the zero-filled suffix of an
+          EOF-short read costs nothing — counting the full request would
+          overstate measured I/O against the cost model.  The {e simulated}
+          backend deliberately keeps charging the full requested [len]:
+          phantom full-scale runs read streams that were never materialised
+          (their simulated size is 0), and their accounted I/O must still
+          equal the plan's prediction. *)
   pwrite : name:string -> off:int -> data:bytes -> unit;
+      (** Positional write.  [data] belongs to the caller again as soon as
+          the call returns: implementations must not retain it un-copied
+          (the async wrapper copies before queueing). *)
   read_discard : name:string -> off:int -> len:int -> unit;
       (** Perform/account the read without materialising the bytes (the
           simulated backend only advances counters; the file backend reads
-          into a small scratch buffer).  Used by phantom execution at full
-          scale, where a block can be gigabytes. *)
+          into a small domain-local scratch buffer).  Used by phantom
+          execution at full scale, where a block can be gigabytes.
+          Accounting: {e every} backend charges the full requested [len]
+          here, even past EOF — [read_discard] models the {e cost} of a
+          read for phantom cost-validation runs, which routinely target
+          regions that were never materialised (empty input files, blocks
+          the phantom run never really wrote), and their accounted I/O
+          must still equal the plan's prediction.  Only data-bearing
+          [pread] charges actual bytes moved. *)
   write_discard : name:string -> off:int -> len:int -> unit;
-      (** Account a write of [len] zero bytes without allocating them. *)
+      (** Write [len] zero bytes without the caller allocating them (the
+          file backend really writes zeroes; the simulated one only
+          accounts them). *)
+  prefetch : name:string -> off:int -> len:int -> unit;
+      (** Read-ahead {e hint}: the region will be [pread] with exactly this
+          (name, off, len) soon.  Never observable in results — a backend
+          may ignore it entirely, and the synchronous ones do.  {!async}
+          starts the read on its I/O domain so the later demand [pread]
+          finds the bytes already in flight or resident. *)
   size : name:string -> int;
   sync : unit -> unit;
   close : unit -> unit;
@@ -63,6 +90,7 @@ val file : root:string -> t
 
 val sim :
   ?retain_data:bool ->
+  ?sleep_factor:float ->
   read_bw:float ->
   write_bw:float ->
   request_overhead:float ->
@@ -70,7 +98,13 @@ val sim :
   t
 (** [retain_data] (default true) keeps written bytes in memory so reads
     return real data; with [false] reads return zeroes and only the clock
-    and counters advance (full-scale mode). *)
+    and counters advance (full-scale mode).
+
+    [sleep_factor] (default 0) makes every request additionally block the
+    calling domain for [virtual-time delta * sleep_factor] wall seconds —
+    a physically slow disk at an adjustable speed.  The iolap benchmark
+    uses it to measure how much simulated I/O time an {!async} wrapper
+    actually hides behind compute. *)
 
 (** {2 Fault injection}
 
@@ -122,3 +156,44 @@ val retrying : ?policy:retry_policy -> t -> t
     [s_retries]).  Non-transient errors, {!Crash} and exhausted attempts
     propagate.  Layer it over {!faulty} to absorb injected transient faults
     invisibly. *)
+
+(** {2 Asynchronous wrapper}
+
+    {!async} moves every request of an inner backend onto one dedicated I/O
+    domain behind a FIFO {!Io_queue}, giving:
+
+    - {e write-behind}: [pwrite]/[write_discard] return immediately; FIFO
+      order guarantees any later read or sync observes them.  [sync] is the
+      group-commit point — it drains the queue, so all write-behind since
+      the previous sync lands in one batch at the journal boundary that
+      requested it.
+    - {e read-ahead}: a [prefetch] hint starts the inner read on the I/O
+      domain; the demand [pread] with the same (name, off, len) blocks only
+      until that in-flight read completes, overlapping I/O with the
+      caller's compute.  Duplicate or over-budget hints (beyond
+      [max_prefetch] outstanding, default 64) are dropped, falling back to
+      a demand read — the {e physical} request sequence reaching the inner
+      backend is byte-for-byte the same set as under synchronous execution,
+      so all Io_stats totals match the sync run exactly.
+
+    A failed fire-and-forget request (write-behind, prefetch issue) has no
+    caller on the stack; its exception is re-raised at the next blocking
+    operation ([pread]/[size]/[sync]/close-time drain), and a failed
+    prefetch surfaces at the demand read that consumes it.
+
+    {b Domains and stats}: the wrapper shares [inner.stats].  All I/O
+    counters are then mutated only on the I/O domain, pool counters only on
+    the issuing domain, and end-of-run reads happen-after the final [sync]
+    barrier — see io_stats.mli for the full ownership contract.  The inner
+    backend itself is only ever touched from the I/O domain. *)
+
+val async : ?max_prefetch:int -> t -> t
+(** Asynchronous wrapper over [inner].  Its [close] drains the queue, joins
+    the I/O domain and then closes the inner backend. *)
+
+val with_async : ?max_prefetch:int -> t -> (t -> 'a) -> 'a
+(** [with_async inner f] runs [f] with an {!async} view of [inner], then
+    drains the queue and joins the I/O domain — {e without} closing
+    [inner], whose streams stay readable (crash-recovery harnesses resume
+    on the same disk).  A deferred write-behind failure surfaces here on
+    the success path; if [f] itself raised, that exception wins. *)

@@ -30,6 +30,9 @@ let touch_read t index =
 let touch_write t index =
   match t.impl with D d -> Daf.touch_write d index | L l -> Lab_tree.touch_write l index
 
+let prefetch t index =
+  match t.impl with D d -> Daf.prefetch d index | L l -> Lab_tree.prefetch l index
+
 let floats_of_bytes b =
   let n = Bytes.length b / 8 in
   Array.init n (fun i -> Int64.float_of_bits (Bytes.get_int64_le b (i * 8)))

@@ -19,6 +19,10 @@ val touch_read : t -> int list -> unit
 
 val touch_write : t -> int list -> unit
 
+val prefetch : t -> int list -> unit
+(** Read-ahead hint for an imminent [read_block] of this subscript; a no-op
+    on synchronous backends (see [Backend.t.prefetch]). *)
+
 val read_floats : t -> int list -> float array
 val write_floats : t -> int list -> float array -> unit
 (** Payloads as double-precision arrays (the element type used throughout

@@ -171,12 +171,15 @@ let mark_dirty t k =
   | Some b -> b.dirty <- true
   | None -> invalid_arg "Buffer_pool.mark_dirty: block not resident"
 
+(* Writes unconditionally — callers (journalled and opportunistic runs) use
+   it to force the block to disk whether or not anyone called [mark_dirty] —
+   but routes through [flush_buffer] so the flush is counted in pool stats
+   exactly like an eviction- or drop-driven one. *)
 let write_through t store index =
   match Hashtbl.find_opt t.buffers (key_of store index) with
   | Some b ->
-      if t.phantom then Block_store.touch_write store index
-      else Block_store.write_floats store index b.data;
-      b.dirty <- false
+      b.dirty <- true;
+      flush_buffer t b
   | None -> invalid_arg "Buffer_pool.write_through: block not resident"
 
 let drop t k =

@@ -33,4 +33,9 @@ let touch_read t index =
 let touch_write t index =
   let bb = Config.block_bytes t.layout in
   t.backend.Backend.write_discard ~name:t.file ~off:(linear_index t.layout index * bb) ~len:bb
+
+let prefetch t index =
+  let bb = Config.block_bytes t.layout in
+  t.backend.Backend.prefetch ~name:t.file ~off:(linear_index t.layout index * bb) ~len:bb
+
 let file_name t = t.file

@@ -21,6 +21,11 @@ val touch_read : t -> int list -> unit
 
 val touch_write : t -> int list -> unit
 
+val prefetch : t -> int list -> unit
+(** Hint the backend that [read_block] of this subscript is imminent, with
+    the exact (stream, offset, length) that read will use.  A no-op on
+    synchronous backends. *)
+
 val linear_index : Riot_ir.Config.layout -> int list -> int
 (** Column-major linearisation (exposed for tests). *)
 

@@ -1,0 +1,140 @@
+(* A single-consumer request queue serviced by one dedicated I/O domain.
+
+   All storage requests funnel through the FIFO in submission order, so the
+   on-disk effect order of an async backend is exactly the order the main
+   domain issued its operations — write-behind and read-ahead change *when*
+   requests execute, never their relative order.  One worker domain keeps
+   the inner backend single-domain (its streams, fds and Io_stats counters
+   are only ever touched from the worker), which is what makes wrapping the
+   existing synchronous backends safe without any locking inside them. *)
+
+type job = unit -> unit
+
+type t = {
+  m : Mutex.t;
+  nonempty : Condition.t;  (* a job was enqueued, or stop was requested *)
+  drained : Condition.t;  (* the queue went empty and the worker is idle *)
+  jobs : job Queue.t;
+  mutable busy : bool;  (* the worker is executing a job right now *)
+  mutable stop : bool;
+  mutable pending : exn option;  (* first failure of a fire-and-forget job *)
+  mutable worker : unit Domain.t option;
+}
+
+(* Jobs are required not to raise: [submit] and [run] wrap their payloads so
+   every exception is captured (deferred in [pending], or delivered through
+   the caller's completion cell).  The worker therefore never dies. *)
+let worker_loop t =
+  let rec loop () =
+    Mutex.lock t.m;
+    while Queue.is_empty t.jobs && not t.stop do
+      Condition.wait t.nonempty t.m
+    done;
+    if Queue.is_empty t.jobs then begin
+      (* stop requested and nothing left: drain is complete. *)
+      Condition.broadcast t.drained;
+      Mutex.unlock t.m
+    end
+    else begin
+      let job = Queue.pop t.jobs in
+      t.busy <- true;
+      Mutex.unlock t.m;
+      job ();
+      Mutex.lock t.m;
+      t.busy <- false;
+      if Queue.is_empty t.jobs then Condition.broadcast t.drained;
+      Mutex.unlock t.m;
+      loop ()
+    end
+  in
+  loop ()
+
+let create () =
+  let t =
+    { m = Mutex.create ();
+      nonempty = Condition.create ();
+      drained = Condition.create ();
+      jobs = Queue.create ();
+      busy = false;
+      stop = false;
+      pending = None;
+      worker = None }
+  in
+  t.worker <- Some (Domain.spawn (fun () -> worker_loop t));
+  t
+
+let set_pending t e =
+  Mutex.lock t.m;
+  (match t.pending with None -> t.pending <- Some e | Some _ -> ());
+  Mutex.unlock t.m
+
+let take_pending t =
+  Mutex.lock t.m;
+  let p = t.pending in
+  t.pending <- None;
+  Mutex.unlock t.m;
+  p
+
+let raise_pending t =
+  match take_pending t with Some e -> raise e | None -> ()
+
+let enqueue t job =
+  Mutex.lock t.m;
+  if t.stop then begin
+    Mutex.unlock t.m;
+    invalid_arg "Io_queue: queue is shut down"
+  end
+  else begin
+    Queue.push job t.jobs;
+    Condition.signal t.nonempty;
+    Mutex.unlock t.m
+  end
+
+let submit t f = enqueue t (fun () -> try f () with e -> set_pending t e)
+
+let run t f =
+  raise_pending t;
+  let cm = Mutex.create () in
+  let cc = Condition.create () in
+  let slot = ref None in
+  enqueue t (fun () ->
+      let r = try Ok (f ()) with e -> Error e in
+      Mutex.lock cm;
+      slot := Some r;
+      Condition.signal cc;
+      Mutex.unlock cm);
+  Mutex.lock cm;
+  let rec wait () =
+    match !slot with
+    | None ->
+        Condition.wait cc cm;
+        wait ()
+    | Some r -> r
+  in
+  let r = wait () in
+  Mutex.unlock cm;
+  match r with Ok v -> v | Error e -> raise e
+
+let barrier t =
+  Mutex.lock t.m;
+  while (not (Queue.is_empty t.jobs)) || t.busy do
+    Condition.wait t.drained t.m
+  done;
+  Mutex.unlock t.m;
+  raise_pending t
+
+let shutdown t =
+  Mutex.lock t.m;
+  let w =
+    if t.stop then None
+    else begin
+      t.stop <- true;
+      Condition.signal t.nonempty;
+      let w = t.worker in
+      t.worker <- None;
+      w
+    end
+  in
+  Mutex.unlock t.m;
+  (match w with Some d -> Domain.join d | None -> ());
+  raise_pending t

@@ -1,0 +1,40 @@
+(** A FIFO request queue serviced by one dedicated I/O domain.
+
+    The building block of {!Backend.async}: the main domain enqueues
+    storage operations as closures and the single worker domain executes
+    them strictly in submission order.  FIFO order is the whole correctness
+    argument for write-behind — a read enqueued after a write to the same
+    region always observes it — and one worker keeps the wrapped backend
+    effectively single-domain, so the synchronous implementations need no
+    internal locking.
+
+    {b Error contract.}  A fire-and-forget job ({!submit}) that raises has
+    no caller to deliver to; its exception is parked and re-raised at the
+    next {e blocking} operation on the queue ({!run}, {!barrier} or
+    {!shutdown}).  This is how a failed write-behind or prefetch surfaces
+    between issue and consumption: later, on the issuing domain, but never
+    silently.  Only the first parked failure is kept. *)
+
+type t
+
+val create : unit -> t
+(** Spawn the worker domain and return an empty queue. *)
+
+val submit : t -> (unit -> unit) -> unit
+(** Fire-and-forget: enqueue the job and return immediately.  An exception
+    from the job is parked (see the error contract above).  Raises
+    [Invalid_argument] after {!shutdown}. *)
+
+val run : t -> (unit -> 'a) -> 'a
+(** Blocking round-trip: re-raise any parked failure, then enqueue the job
+    behind everything already queued, wait for it, and return its result
+    (or re-raise its exception on this domain). *)
+
+val barrier : t -> unit
+(** Block until every previously enqueued job has completed, then re-raise
+    any parked failure.  The group-commit point of write-behind. *)
+
+val shutdown : t -> unit
+(** Drain the queue (all submitted jobs still execute), join the worker
+    domain, then re-raise any parked failure.  Idempotent; once shut down
+    the queue accepts no further jobs. *)

@@ -14,12 +14,19 @@
 
     Domain safety: these are plain [mutable] fields and the stream table is
     an unsynchronised [Hashtbl] — deliberately.  A stats value belongs to a
-    backend, and a backend is confined to the one domain that runs the
-    engine; the optimizer's worker domains ([Riot_base.Pool]) cost plans
-    symbolically and never touch a backend, so no counter is ever
-    incremented from two domains.  Sharing one backend between concurrently
-    running engines on different domains is out of contract (see the
-    domain-safety section of pool.mli). *)
+    backend; the optimizer's worker domains ([Riot_base.Pool]) cost plans
+    symbolically and never touch a backend.  Under synchronous execution
+    everything runs on the engine's domain.  Under [Backend.async] the
+    ownership splits by field, with no field ever mutated from two domains:
+    every I/O counter (reads/writes/bytes, [virtual_time], the stream
+    table, retries and faults) is mutated only on the I/O domain — the
+    async wrapper shares the inner backend's stats and all inner requests
+    execute there — while the pool counters ([pool_*]) are mutated only on
+    the engine's domain by {!Buffer_pool}.  End-of-run reads of the whole
+    record happen-after the final [Backend.sync] (a queue drain through the
+    queue mutex), so the engine observes settled values.  Sharing one
+    backend between concurrently running engines on different domains
+    remains out of contract (see the domain-safety section of pool.mli). *)
 
 type stream = {
   mutable s_reads : int;

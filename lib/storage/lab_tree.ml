@@ -231,6 +231,17 @@ let write_block t index data =
       insert t key (off, bb);
       write_meta t
 
+(* A hint must carry the exact (off, len) the demand read will use, which
+   for a LAB-tree is the stored extent, not the block size — so resolve the
+   key first (node pages come from the cache or ordinary blocking reads).
+   An absent key reads as zeroes without touching the backend, so there is
+   nothing to prefetch. *)
+let prefetch t index =
+  let key = Daf.linear_index t.layout index in
+  match lookup t key with
+  | None -> ()
+  | Some (off, len) -> t.backend.Backend.prefetch ~name:t.file ~off ~len
+
 let touch_read t index =
   let key = Daf.linear_index t.layout index in
   let bb = Config.block_bytes t.layout in

@@ -29,6 +29,12 @@ val touch_read : t -> int list -> unit
 
 val touch_write : t -> int list -> unit
 
+val prefetch : t -> int list -> unit
+(** Hint that [read_block] of this subscript is imminent, resolving the key
+    to the stored extent first so the hint matches the demand read exactly.
+    A no-op for absent keys (they read as zeroes without touching the
+    backend) and on synchronous backends. *)
+
 val block_count : t -> int
 (** Number of distinct blocks currently stored (exposed for tests). *)
 

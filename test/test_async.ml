@@ -1,0 +1,294 @@
+(* The asynchronous storage tier: Io_queue semantics, the Backend.async
+   wrapper, and the sync-vs-async differential contract.
+
+   The contract under test (see backend.mli): for any program and any legal
+   plan, routing storage through [Backend.with_async] produces byte-identical
+   array streams and an identical physical request set — same read/write and
+   byte counts, same per-array breakdown — as the synchronous run.  Read-ahead
+   and write-behind only move requests in time, never add or drop them. *)
+
+module Backend = Riot_storage.Backend
+module Io_queue = Riot_storage.Io_queue
+module Io_stats = Riot_storage.Io_stats
+module Block_store = Riot_storage.Block_store
+module Cplan = Riot_plan.Cplan
+module Prefetch = Riot_plan.Prefetch
+module Engine = Riot_exec.Engine
+module Rand_prog = Riot_ops.Rand_prog
+module Fault_fuzz = Riotshare.Fault_fuzz
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let format = Block_store.Daf_format
+
+let mk_backend () =
+  Backend.sim ~read_bw:96e6 ~write_bw:60e6 ~request_overhead:0. ()
+
+(* --- Io_queue ------------------------------------------------------------- *)
+
+let test_queue_fifo () =
+  let q = Io_queue.create () in
+  let log = ref [] in
+  for i = 1 to 100 do
+    Io_queue.submit q (fun () -> log := i :: !log)
+  done;
+  Io_queue.barrier q;
+  Alcotest.(check (list int))
+    "jobs ran in submission order"
+    (List.init 100 (fun i -> 100 - i))
+    !log;
+  (* A blocking run goes behind everything already queued. *)
+  Io_queue.submit q (fun () -> log := 0 :: !log);
+  let seen = Io_queue.run q (fun () -> List.length !log) in
+  check_int "run observes the earlier submit" 101 seen;
+  Io_queue.shutdown q
+
+let test_queue_parked_error () =
+  let q = Io_queue.create () in
+  Io_queue.submit q (fun () -> failwith "deferred boom");
+  (* The failure surfaces at the next blocking operation, not silently. *)
+  check_bool "barrier re-raises the parked failure" true
+    (try
+       Io_queue.barrier q;
+       false
+     with Failure m -> m = "deferred boom");
+  (* Parked failures are one-shot; the queue keeps working afterwards. *)
+  check_int "queue alive after parked failure" 7 (Io_queue.run q (fun () -> 7));
+  Io_queue.shutdown q
+
+let test_queue_shutdown () =
+  let q = Io_queue.create () in
+  let hits = ref 0 in
+  for _ = 1 to 10 do
+    Io_queue.submit q (fun () -> incr hits)
+  done;
+  Io_queue.shutdown q;
+  check_int "shutdown drains pending jobs" 10 !hits;
+  Io_queue.shutdown q;  (* idempotent *)
+  check_bool "submit after shutdown rejected" true
+    (try
+       Io_queue.submit q ignore;
+       false
+     with Invalid_argument _ -> true)
+
+(* --- Backend.async -------------------------------------------------------- *)
+
+let test_async_write_behind () =
+  let inner = mk_backend () in
+  Backend.with_async inner (fun b ->
+      b.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.of_string "hello");
+      (* The data was copied at submission: mutating the caller's buffer
+         after pwrite returns must not reach the disk. *)
+      let d = Bytes.of_string "world" in
+      b.Backend.pwrite ~name:"x" ~off:5 ~data:d;
+      Bytes.fill d 0 5 '!';
+      (* A read enqueued after the writes observes them (FIFO). *)
+      Alcotest.(check string) "read-your-writes" "helloworld"
+        (Bytes.to_string (b.Backend.pread ~name:"x" ~off:0 ~len:10)));
+  (* After with_async returns the queue has drained: the raw disk holds
+     everything. *)
+  Alcotest.(check string) "write-behind landed" "helloworld"
+    (Bytes.to_string (inner.Backend.pread ~name:"x" ~off:0 ~len:10))
+
+let test_async_prefetch_single_read () =
+  let inner = mk_backend () in
+  inner.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.of_string "0123456789");
+  Io_stats.reset inner.Backend.stats;
+  Backend.with_async inner (fun b ->
+      b.Backend.prefetch ~name:"x" ~off:2 ~len:4;
+      Alcotest.(check string) "prefetched bytes served" "2345"
+        (Bytes.to_string (b.Backend.pread ~name:"x" ~off:2 ~len:4));
+      (* The demand read consumed the prefetched buffer: one physical read. *)
+      check_int "one physical read" 1 inner.Backend.stats.Io_stats.reads;
+      (* A second identical read is a fresh demand read. *)
+      ignore (b.Backend.pread ~name:"x" ~off:2 ~len:4);
+      check_int "hint consumed exactly once" 2 inner.Backend.stats.Io_stats.reads;
+      (* Duplicate hints for one extent collapse to one physical read. *)
+      b.Backend.prefetch ~name:"x" ~off:0 ~len:2;
+      b.Backend.prefetch ~name:"x" ~off:0 ~len:2;
+      ignore (b.Backend.pread ~name:"x" ~off:0 ~len:2);
+      b.Backend.sync ());
+  check_int "no duplicate physical read" 3 inner.Backend.stats.Io_stats.reads
+
+let test_async_deferred_error_surfaces () =
+  Riot_base.Failpoint.reset ();
+  let inner = mk_backend () in
+  let raised =
+    try
+      Backend.with_async (Backend.faulty inner) (fun b ->
+          b.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.make 8 'a');
+          Riot_base.Failpoint.arm Backend.fp_write_error
+            (Riot_base.Failpoint.Nth 1);
+          (* Fire-and-forget write fails on the I/O domain... *)
+          b.Backend.pwrite ~name:"x" ~off:8 ~data:(Bytes.make 8 'b');
+          (* ...and surfaces at the next blocking operation. *)
+          b.Backend.sync ();
+          false)
+    with Backend.Io_error { transient = true; _ } -> true
+  in
+  check_bool "deferred write error re-raised at the barrier" true raised;
+  Riot_base.Failpoint.reset ()
+
+(* --- sync = async differential -------------------------------------------- *)
+
+let counts (s : Io_stats.t) =
+  (s.Io_stats.reads, s.Io_stats.writes, s.Io_stats.bytes_read,
+   s.Io_stats.bytes_written)
+
+let run_sync prog config cplan =
+  let backend = mk_backend () in
+  let stores = Engine.stores_for backend ~format ~config in
+  Fault_fuzz.load_inputs prog config stores;
+  Io_stats.reset backend.Backend.stats;
+  let r =
+    Engine.run ~compute:true ~stores ~mode:Engine.Vector cplan ~backend ~format
+      ~mem_cap:cplan.Cplan.peak_memory
+  in
+  (r, Fault_fuzz.snapshot backend stores, counts backend.Backend.stats)
+
+let run_async ?prefetch prog config cplan =
+  let inner = mk_backend () in
+  let r =
+    Backend.with_async inner (fun backend ->
+        let stores = Engine.stores_for backend ~format ~config in
+        Fault_fuzz.load_inputs prog config stores;
+        backend.Backend.sync ();
+        Io_stats.reset inner.Backend.stats;
+        Engine.run ~compute:true ~stores ?prefetch ~mode:Engine.Vector cplan
+          ~backend ~format ~mem_cap:cplan.Cplan.peak_memory)
+  in
+  (* The wrapper has drained and shut down: snapshot the raw disk. *)
+  let stores = Engine.stores_for inner ~format ~config in
+  (r, Fault_fuzz.snapshot inner stores, counts inner.Backend.stats)
+
+(* Virtual disk time is a float accumulated in request order; async reorders
+   requests, so compare up to rounding. *)
+let same_vtime a b = Float.abs (a -. b) <= 1e-9 *. Float.max 1. (Float.abs a)
+
+let differential ?prefetch prog config cplan =
+  let rs, ss, cs = run_sync prog config cplan in
+  let ra, sa, ca = run_async ?prefetch prog config cplan in
+  ss = sa && cs = ca
+  && rs.Engine.per_array = ra.Engine.per_array
+  && same_vtime rs.Engine.virtual_io_seconds ra.Engine.virtual_io_seconds
+
+let plans_for prog config =
+  let analysis = Riot_analysis.Deps.extract prog ~ref_params:Rand_prog.ref_params in
+  let plans, _ =
+    Riot_optimizer.Search.enumerate ~max_size:2 prog ~analysis
+      ~ref_params:Rand_prog.ref_params
+  in
+  List.map
+    (fun (p : Riot_optimizer.Search.plan) ->
+      Cplan.build prog ~config ~sched:p.Riot_optimizer.Search.sched
+        ~realized:p.Riot_optimizer.Search.q)
+    (Fault_fuzz.select_plans 2 plans)
+
+let seed_gen =
+  QCheck.make
+    ~print:(fun s ->
+      Printf.sprintf "%d (%s=%d)" s Rand_prog.seed_env_var
+        (Rand_prog.master_seed ()))
+    QCheck.Gen.(int_range 0 100000)
+
+let prop_differential =
+  QCheck.Test.make ~name:"async: sync = async on random programs" ~count:150
+    seed_gen (fun seed ->
+      let with_prog =
+        if seed mod 2 = 0 then Rand_prog.with_program
+        else Rand_prog.with_ew_program
+      in
+      with_prog seed (fun prog ->
+          let config = Rand_prog.config_for prog in
+          (* Vary the read-ahead depth with the seed: 0 (pure write-behind),
+             the default, and a horizon past every plan's length. *)
+          let prefetch = [| 0; 2; 1000 |].(seed mod 3) in
+          List.for_all (differential ~prefetch prog config)
+            (plans_for prog config)))
+
+(* Cheap deterministic replays on pinned seeds so the tier-1 quick run
+   crosses the storage tiers too. *)
+let test_pinned_seeds () =
+  List.iter
+    (fun seed ->
+      Rand_prog.with_ew_program seed (fun prog ->
+          let config = Rand_prog.config_for prog in
+          List.iter
+            (fun cplan ->
+              if not (differential prog config cplan) then
+                Alcotest.failf "ew seed %d diverged under async" seed)
+            (plans_for prog config));
+      Rand_prog.with_program seed (fun prog ->
+          let config = Rand_prog.config_for prog in
+          List.iter
+            (fun cplan ->
+              if not (differential prog config cplan) then
+                Alcotest.failf "opaque seed %d diverged under async" seed)
+            (plans_for prog config)))
+    [ 0; 1; 2 ]
+
+(* The hint schedule respects the write-before-read fences: a hint's
+   earliest safe issue step must not precede the step after the block's
+   last prior touch (read, write or pin release — any of them can put a
+   dirty flush of the block on the queue), and every hint targets a real
+   [From_disk] read with a non-empty issue window. *)
+let test_prefetch_schedule_safety () =
+  List.iter
+    (fun seed ->
+      Rand_prog.with_ew_program seed (fun prog ->
+          let config = Rand_prog.config_for prog in
+          List.iter
+            (fun (cplan : Cplan.t) ->
+              let h = Prefetch.make cplan in
+              check_int "one slot per step" (Array.length cplan.Cplan.steps)
+                (Prefetch.length h);
+              Array.iteri
+                (fun t (st : Cplan.step) ->
+                  List.iter
+                    (fun (blk, earliest) ->
+                      if
+                        not
+                          (List.exists
+                             (fun (_, b, src) ->
+                               b = blk && src = Cplan.From_disk)
+                             st.Cplan.reads)
+                      then Alcotest.failf "seed %d: hint without its read" seed;
+                      if earliest >= t then
+                        Alcotest.failf "seed %d: empty issue window" seed;
+                      let fence = ref 0 in
+                      for s = 0 to t - 1 do
+                        let touches (_, b, _) = b = blk in
+                        let stp = cplan.Cplan.steps.(s) in
+                        if
+                          List.exists touches stp.Cplan.reads
+                          || List.exists touches stp.Cplan.writes
+                          || List.exists
+                               (fun (b, _, stop) -> b = blk && stop = s)
+                               cplan.Cplan.pins
+                        then fence := s + 1
+                      done;
+                      if earliest < !fence then
+                        Alcotest.failf
+                          "seed %d: hint for step %d issuable at %d, fence %d"
+                          seed t earliest !fence)
+                    (Prefetch.hints_at h t))
+                cplan.Cplan.steps)
+            (plans_for prog config)))
+    [ 0; 1; 2; 3 ]
+
+let suite =
+  ( "async",
+    [ Alcotest.test_case "queue is FIFO" `Quick test_queue_fifo;
+      Alcotest.test_case "queue parks and re-raises errors" `Quick
+        test_queue_parked_error;
+      Alcotest.test_case "queue shutdown drains" `Quick test_queue_shutdown;
+      Alcotest.test_case "write-behind with group commit" `Quick
+        test_async_write_behind;
+      Alcotest.test_case "prefetch consumed by one physical read" `Quick
+        test_async_prefetch_single_read;
+      Alcotest.test_case "deferred errors surface at barriers" `Quick
+        test_async_deferred_error_surfaces;
+      Alcotest.test_case "prefetch schedule respects fences" `Quick
+        test_prefetch_schedule_safety;
+      Alcotest.test_case "pinned differential seeds" `Quick test_pinned_seeds ]
+    @ List.map QCheck_alcotest.to_alcotest [ prop_differential ] )

@@ -180,6 +180,29 @@ let test_short_read_retried () =
   check_int "short read retried" 1 inner.Backend.stats.Io_stats.retries;
   Failpoint.reset ()
 
+(* Regression (minimized): at [len <= 1] the injected short read used to
+   report [len / 2 = 0] bytes — a 0-byte "short read" indistinguishable
+   from a total failure.  The injected length is clamped to >= 1. *)
+let test_short_read_min_length () =
+  Failpoint.reset ();
+  let inner = sim () in
+  let b = Backend.faulty inner in
+  b.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.of_string "q");
+  Failpoint.arm Backend.fp_read_short (Failpoint.Always);
+  check_bool "1-byte short read reports >= 1 byte" true
+    (try
+       ignore (b.Backend.pread ~name:"x" ~off:0 ~len:1);
+       false
+     with Backend.Io_error { len; transient = true; _ } -> len >= 1);
+  (* And the retry wrapper still recovers the byte. *)
+  Failpoint.reset ();
+  Failpoint.arm Backend.fp_read_short (Failpoint.Nth 1);
+  let r =
+    (Backend.retrying ~policy:no_sleep b).Backend.pread ~name:"x" ~off:0 ~len:1
+  in
+  Alcotest.(check string) "byte recovered" "q" (Bytes.to_string r);
+  Failpoint.reset ()
+
 let test_crash_is_permanent () =
   Failpoint.reset ();
   let inner = sim () in
@@ -433,6 +456,8 @@ let suite =
       Alcotest.test_case "fatal errors are not retried" `Quick
         test_fatal_not_retried;
       Alcotest.test_case "short reads are retried" `Quick test_short_read_retried;
+      Alcotest.test_case "short reads inject at least one byte" `Quick
+        test_short_read_min_length;
       Alcotest.test_case "crash is permanent" `Quick test_crash_is_permanent;
       Alcotest.test_case "crashing write is torn" `Quick test_crash_write_is_torn;
       Alcotest.test_case "journal roundtrip" `Quick test_journal_roundtrip;

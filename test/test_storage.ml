@@ -304,7 +304,17 @@ let test_pool_stats_counters () =
   check_int "hits" 1 st.Io_stats.pool_hits;
   check_int "misses" 4 st.Io_stats.pool_misses;
   check_int "evictions" 2 st.Io_stats.pool_evictions;
-  check_int "flushes" 1 st.Io_stats.pool_flushes
+  check_int "flushes" 1 st.Io_stats.pool_flushes;
+  (* Regression: [write_through] used to clear [dirty] by hand without
+     counting the flush, so write-through traffic vanished from the pool
+     stats. *)
+  Buffer_pool.mark_dirty pool ("S", [ 3; 0 ]);
+  Buffer_pool.write_through pool s [ 3; 0 ];
+  check_int "write-through counted as flush" 2 st.Io_stats.pool_flushes;
+  (* Write-through is unconditional (journalled and opportunistic callers
+     rely on the write happening even for clean buffers). *)
+  Buffer_pool.write_through pool s [ 3; 0 ];
+  check_int "clean write-through still flushes" 3 st.Io_stats.pool_flushes
 
 let test_per_stream_stats () =
   let b = sim () in
@@ -398,6 +408,45 @@ let test_pread_past_eof () =
       b.Backend.close ())
     [ ("sim", sim ()); ("file", Backend.file ~root:(tmpdir ())) ]
 
+(* Regression: the file backend's [write_discard] used to write whatever
+   happened to sit in its shared scratch buffer — a previous [read_discard]
+   would leave real data there, and the "discarded" region came back as
+   that garbage instead of zeroes. *)
+let test_write_discard_zeroes () =
+  let root = tmpdir () in
+  let b = Backend.file ~root in
+  b.Backend.pwrite ~name:"w" ~off:0 ~data:(Bytes.make 4096 'Z');
+  (* Prime the scratch buffer with non-zero data. *)
+  b.Backend.read_discard ~name:"w" ~off:0 ~len:4096;
+  b.Backend.write_discard ~name:"w" ~off:4096 ~len:4096;
+  let r = b.Backend.pread ~name:"w" ~off:4096 ~len:4096 in
+  check_bool "discarded region reads back as zeroes" true
+    (String.for_all (fun c -> c = '\000') (Bytes.to_string r));
+  check_int "size grew past the discarded region" 8192 (b.Backend.size ~name:"w");
+  b.Backend.close ()
+
+(* Regression: EOF-short [pread]s on the file backend used to account the
+   full requested [len]; only the bytes actually served may be charged —
+   the zero-filled suffix is synthesized, not read.  [read_discard] is the
+   exception by contract: it models the cost of a read for phantom
+   cost-validation runs against never-materialised regions, so it keeps
+   full-length accounting, like the sim backend (see backend.mli). *)
+let test_file_eof_accounting () =
+  let root = tmpdir () in
+  let b = Backend.file ~root in
+  b.Backend.pwrite ~name:"e" ~off:0 ~data:(Bytes.of_string "0123456789");
+  Io_stats.reset b.Backend.stats;
+  ignore (b.Backend.pread ~name:"e" ~off:4 ~len:12);  (* 6 served + 6 zero-fill *)
+  check_int "straddling read charges actual bytes" 6
+    b.Backend.stats.Io_stats.bytes_read;
+  ignore (b.Backend.pread ~name:"e" ~off:100 ~len:8);  (* entirely past EOF *)
+  check_int "past-EOF read moves nothing" 6 b.Backend.stats.Io_stats.bytes_read;
+  b.Backend.read_discard ~name:"e" ~off:8 ~len:16;  (* 2 served, 16 modeled *)
+  check_int "discard charges the modeled request" 22
+    b.Backend.stats.Io_stats.bytes_read;
+  check_int "every request still counted" 3 b.Backend.stats.Io_stats.reads;
+  b.Backend.close ()
+
 let test_stats_reset () =
   let b = sim () in
   b.Backend.pwrite ~name:"x" ~off:0 ~data:(Bytes.create 100);
@@ -430,4 +479,8 @@ let suite =
       Alcotest.test_case "pool phantom" `Quick test_pool_phantom;
       Alcotest.test_case "lab on file backend" `Quick test_lab_on_file_backend;
       Alcotest.test_case "stats reset" `Quick test_stats_reset;
-      Alcotest.test_case "pread past EOF" `Quick test_pread_past_eof ] )
+      Alcotest.test_case "pread past EOF" `Quick test_pread_past_eof;
+      Alcotest.test_case "write_discard writes zeroes" `Quick
+        test_write_discard_zeroes;
+      Alcotest.test_case "file EOF reads charge actual bytes" `Quick
+        test_file_eof_accounting ] )
